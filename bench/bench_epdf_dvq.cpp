@@ -1,0 +1,79 @@
+// Experiment X3 — the paper's closing claim: "tardiness bounds guaranteed
+// by previously-proposed suboptimal Pfair algorithms are worsened by at
+// most one quantum only" under the DVQ model.  EPDF is the suboptimal
+// algorithm of record; this bench measures EPDF's max tardiness under
+// SFQ and under DVQ on paired workloads and reports the per-system gap.
+#include <atomic>
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== X3: EPDF under SFQ vs DVQ ===\n\n";
+
+  constexpr std::int64_t kSeeds = 40;
+  TextTable t;
+  t.header({"M", "class", "sfq max (q)", "dvq max (q)", "worst gap (q)",
+            "gap <= 1"});
+  bool ok = true;
+
+  struct Cfg {
+    int m;
+    WeightClass cls;
+  };
+  for (const Cfg c : {Cfg{2, WeightClass::kMixed}, Cfg{3, WeightClass::kMixed},
+                      Cfg{3, WeightClass::kHeavy},
+                      Cfg{4, WeightClass::kHeavy},
+                      Cfg{4, WeightClass::kUniform}}) {
+    std::atomic<std::int64_t> sfq_max{0}, dvq_max{0}, gap_max{
+        std::numeric_limits<std::int64_t>::min()};
+    std::atomic<std::int64_t> gap_bad{0};
+    global_pool().parallel_for(0, kSeeds, [&](std::int64_t i) {
+      const auto seed = static_cast<std::uint64_t>(i) * 17 + 3;
+      GeneratorConfig cfg;
+      cfg.processors = c.m;
+      cfg.target_util = Rational(c.m);
+      cfg.horizon = 24;
+      cfg.weights = c.cls;
+      cfg.seed = seed;
+      const TaskSystem sys = generate_periodic(cfg);
+      const BernoulliYield yields(seed, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                                  kQuantum - kTick);
+      SfqOptions so;
+      so.policy = Policy::kEpdf;
+      const std::int64_t sfq =
+          measure_tardiness(sys, schedule_sfq(sys, so)).max_ticks;
+      DvqOptions dopts;
+      dopts.policy = Policy::kEpdf;
+      const std::int64_t dvq =
+          measure_tardiness(sys, schedule_dvq(sys, yields, dopts)).max_ticks;
+
+      auto raise = [](std::atomic<std::int64_t>& a, std::int64_t v) {
+        std::int64_t cur = a.load();
+        while (v > cur && !a.compare_exchange_weak(cur, v)) {
+        }
+      };
+      raise(sfq_max, sfq);
+      raise(dvq_max, dvq);
+      raise(gap_max, dvq - sfq);
+      // The "+ <= 1 quantum" claim, per paired system.
+      if (dvq - sfq > kTicksPerSlot) ++gap_bad;
+    });
+    ok &= gap_bad.load() == 0;
+    auto q = [](std::int64_t ticks) {
+      return cell(static_cast<double>(ticks) /
+                  static_cast<double>(kTicksPerSlot));
+    };
+    t.row({cell(static_cast<std::int64_t>(c.m)), to_string(c.cls),
+           q(sfq_max.load()), q(dvq_max.load()), q(gap_max.load()),
+           gap_bad.load() == 0 ? "yes" : "NO"});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << kSeeds
+            << " fully-utilized systems per row.  Expected shape: EPDF "
+               "already misses under SFQ\nfor M >= 3 heavy mixes; moving "
+               "to DVQ adds at most one quantum per system.\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

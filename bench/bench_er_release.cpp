@@ -1,0 +1,77 @@
+// Experiment X6 — early release as the lightweight alternative to DFS's
+// auxiliary scheduler (Sec. 1, related work): Chandra et al. kept
+// processors busy by running *ineligible* tasks through a second
+// scheduler; Anderson & Srinivasan's early-release model gets the same
+// effect inside Pfair by letting a job's later subtasks become eligible
+// at the job release.  Under DVQ + early release, reclaimed time can be
+// spent on the same job's next subtask instead of idling.
+//
+// Measures makespan, idle fraction and tardiness of PD2-DVQ with and
+// without the early-release transform on the same workload and yields.
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== X6: early release under the DVQ model ===\n\n";
+
+  TextTable t;
+  t.header({"yield p", "makespan (plain)", "makespan (ER)", "idle % plain",
+            "idle % ER", "max tard (q) plain", "max tard (q) ER"});
+  bool ok = true;
+
+  constexpr int kM = 4;
+  GeneratorConfig cfg;
+  cfg.processors = kM;
+  cfg.target_util = Rational(kM);
+  cfg.horizon = 40;
+  cfg.seed = 17;
+  // Multi-subtask jobs are where ER matters: use heavy tasks (e >= 2).
+  cfg.weights = WeightClass::kHeavy;
+  const TaskSystem plain = generate_periodic(cfg);
+  const TaskSystem er = plain.with_early_release();
+  std::cout << plain.summary() << "\n\n";
+
+  for (const auto& [num, den] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {1, 4}, {1, 2}, {3, 4}}) {
+    const BernoulliYield yields(31, num, den,
+                                Time::ticks(kTicksPerSlot / 4),
+                                Time::ticks(3 * kTicksPerSlot / 4));
+    std::int64_t work = 0;
+    for (std::int32_t k = 0; k < plain.num_tasks(); ++k) {
+      for (std::int32_t s = 0; s < plain.task(k).num_subtasks(); ++s) {
+        work += yields.checked_cost(plain, SubtaskRef{k, s}).raw_ticks();
+      }
+    }
+    const DvqSchedule dp = schedule_dvq(plain, yields);
+    const DvqSchedule de = schedule_dvq(er, yields);
+    const TardinessSummary tp = measure_tardiness(plain, dp);
+    const TardinessSummary te = measure_tardiness(er, de);
+
+    auto idle = [&](const DvqSchedule& d) {
+      const double cap = d.makespan().to_double() * kM;
+      return 100.0 *
+             (cap - static_cast<double>(work) /
+                        static_cast<double>(kTicksPerSlot)) /
+             cap;
+    };
+    // ER can only move work earlier: makespan must not grow, and both
+    // runs must respect the one-quantum bound.
+    ok &= de.makespan() <= dp.makespan();
+    ok &= tp.max_ticks < kTicksPerSlot && te.max_ticks < kTicksPerSlot;
+
+    t.row({cell_ratio(num, den, 2), cell(dp.makespan().to_double(), 2),
+           cell(de.makespan().to_double(), 2), cell(idle(dp), 1),
+           cell(idle(de), 1), cell(tp.max_quanta()),
+           cell(te.max_quanta())});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "Expected shape: early release shrinks (or preserves) the "
+               "makespan by letting\nreclaimed time flow into the same "
+               "job's next subtask; the Theorem 3 bound holds\nin both "
+               "configurations.\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

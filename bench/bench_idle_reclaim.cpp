@@ -1,0 +1,74 @@
+// Experiment X1 — the motivation bullets of Sec. 1: the SFQ model wastes
+// the remainder of every early-completed quantum; staggering does not
+// help (it is not work-conserving); DVQ reclaims the time.  Measures the
+// makespan and idle fraction of the same workload + yields under the
+// three quantum models, as the early-yield rate grows.
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== X1: reclaiming unused quantum time ===\n\n";
+
+  constexpr int kM = 4;
+  constexpr std::int64_t kHorizon = 40;
+  GeneratorConfig cfg;
+  cfg.processors = kM;
+  cfg.target_util = Rational(kM);
+  cfg.horizon = kHorizon;
+  cfg.seed = 99;
+  const TaskSystem sys = generate_periodic(cfg);
+  std::cout << sys.summary() << "\n\n";
+
+  TextTable t;
+  t.header({"yield p", "work (q)", "SFQ span", "stag span", "DVQ span",
+            "DVQ idle %", "reclaimed %"});
+  bool ok = true;
+
+  for (const auto& [num, den] : std::vector<std::pair<std::int64_t,
+                                                      std::int64_t>>{
+           {0, 1}, {1, 4}, {1, 2}, {3, 4}, {1, 1}}) {
+    const BernoulliYield yields(7, num, den, Time::ticks(kTicksPerSlot / 4),
+                                Time::ticks(3 * kTicksPerSlot / 4));
+    std::int64_t work = 0;
+    for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+      for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+        work += yields.checked_cost(sys, SubtaskRef{k, s}).raw_ticks();
+      }
+    }
+
+    // SFQ: every subtask occupies its whole slot regardless of c.
+    const SlotSchedule sfq = schedule_sfq(sys);
+    const std::int64_t sfq_span = sfq.horizon();
+
+    const DvqSchedule stag = schedule_staggered(sys, yields);
+    const DvqSchedule dvq = schedule_dvq(sys, yields);
+    const double dvq_span = dvq.makespan().to_double();
+    const double stag_span = stag.makespan().to_double();
+
+    const double dvq_capacity = dvq.makespan().to_double() * kM;
+    const double work_q = static_cast<double>(work) /
+                          static_cast<double>(kTicksPerSlot);
+    const double dvq_idle = 100.0 * (dvq_capacity - work_q) / dvq_capacity;
+    const double sfq_capacity = static_cast<double>(sfq_span * kM);
+    const double reclaimed = 100.0 * (sfq_capacity - dvq_capacity) /
+                             sfq_capacity;
+
+    // DVQ must never finish later than SFQ's horizon, and reclaim must
+    // grow with the yield rate.
+    ok &= dvq_span <= static_cast<double>(sfq_span) + 1e-9;
+    ok &= stag_span <= static_cast<double>(sfq_span) + 1.0;  // + stagger
+
+    t.row({cell_ratio(num, den, 2), cell(work_q, 1),
+           cell(static_cast<double>(sfq_span), 2), cell(stag_span, 2),
+           cell(dvq_span, 2), cell(dvq_idle, 1), cell(reclaimed, 1)});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "Expected shape: with no yields all models tie; as yields "
+               "grow, DVQ's span\nshrinks below the SFQ horizon (reclaimed "
+               "> 0) while SFQ stays pinned and\nstaggering only shifts "
+               "boundaries.\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

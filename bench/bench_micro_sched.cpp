@@ -1,0 +1,147 @@
+// Experiment X4 — scheduler micro-costs, via google-benchmark: window
+// arithmetic, group-deadline computation, priority comparisons, per-slot
+// decision cost for every policy, PD^B overhead, DVQ event throughput.
+#include <benchmark/benchmark.h>
+
+#include "pfair/pfair.hpp"
+
+namespace {
+
+using namespace pfair;
+
+TaskSystem make_system(int m, std::int64_t horizon, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.processors = m;
+  cfg.target_util = Rational(m);
+  cfg.horizon = horizon;
+  cfg.seed = seed;
+  return generate_periodic(cfg);
+}
+
+void BM_WindowMath(benchmark::State& state) {
+  const Weight w(8, 11);
+  std::int64_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pseudo_release(w, i));
+    benchmark::DoNotOptimize(pseudo_deadline(w, i));
+    benchmark::DoNotOptimize(b_bit(w, i));
+    if (++i > 1000000) i = 1;
+  }
+}
+BENCHMARK(BM_WindowMath);
+
+void BM_GroupDeadline(benchmark::State& state) {
+  const Weight w(static_cast<std::int64_t>(state.range(0)),
+                 static_cast<std::int64_t>(state.range(0)) + 1);
+  std::int64_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_deadline(w, i));
+    if (++i > 10000) i = 1;
+  }
+}
+BENCHMARK(BM_GroupDeadline)->Arg(2)->Arg(11)->Arg(97);
+
+void BM_PriorityCompare(benchmark::State& state) {
+  const TaskSystem sys = make_system(4, 24, 5);
+  const PriorityOrder order(sys, static_cast<Policy>(state.range(0)));
+  std::vector<SubtaskRef> refs;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      refs.push_back(SubtaskRef{k, s});
+    }
+  }
+  std::size_t i = 0, j = refs.size() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(order.compare(refs[i], refs[j]));
+    if (++i == refs.size()) i = 0;
+    if (++j == refs.size()) j = 0;
+  }
+}
+BENCHMARK(BM_PriorityCompare)
+    ->Arg(static_cast<int>(Policy::kEpdf))
+    ->Arg(static_cast<int>(Policy::kPf))
+    ->Arg(static_cast<int>(Policy::kPd))
+    ->Arg(static_cast<int>(Policy::kPd2));
+
+void BM_SfqSchedule(benchmark::State& state) {
+  const auto m = static_cast<int>(state.range(0));
+  const TaskSystem sys = make_system(m, 48, 7);
+  SfqOptions opts;
+  opts.policy = static_cast<Policy>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_sfq(sys, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+}
+BENCHMARK(BM_SfqSchedule)
+    ->Args({4, static_cast<int>(Policy::kEpdf)})
+    ->Args({4, static_cast<int>(Policy::kPf)})
+    ->Args({4, static_cast<int>(Policy::kPd2)})
+    ->Args({8, static_cast<int>(Policy::kPd2)})
+    ->Args({16, static_cast<int>(Policy::kPd2)});
+
+void BM_SfqScheduleIndexed(benchmark::State& state) {
+  const auto m = static_cast<int>(state.range(0));
+  const TaskSystem sys = make_system(m, 48, 7);
+  SfqOptions opts;
+  opts.policy = Policy::kPd2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_sfq_indexed(sys, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+}
+BENCHMARK(BM_SfqScheduleIndexed)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PdbSchedule(benchmark::State& state) {
+  const TaskSystem sys = make_system(static_cast<int>(state.range(0)), 48, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_pdb(sys));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+}
+BENCHMARK(BM_PdbSchedule)->Arg(4)->Arg(8);
+
+void BM_DvqSchedule(benchmark::State& state) {
+  const TaskSystem sys = make_system(static_cast<int>(state.range(0)), 48, 7);
+  const BernoulliYield yields(11, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                              kQuantum - kTick);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_dvq(sys, yields));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+}
+BENCHMARK(BM_DvqSchedule)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_StaggeredSchedule(benchmark::State& state) {
+  const TaskSystem sys = make_system(static_cast<int>(state.range(0)), 48, 7);
+  const FullQuantumYield yields;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_staggered(sys, yields));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+}
+BENCHMARK(BM_StaggeredSchedule)->Arg(4)->Arg(8);
+
+void BM_ValidityCheck(benchmark::State& state) {
+  const TaskSystem sys = make_system(4, 48, 7);
+  const SlotSchedule sched = schedule_sfq(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_slot_schedule(sys, sched));
+  }
+}
+BENCHMARK(BM_ValidityCheck);
+
+void BM_SbConstruction(benchmark::State& state) {
+  const TaskSystem sys = make_system(4, 24, 7);
+  const BernoulliYield yields(11, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                              kQuantum - kTick);
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_sb(sys, dvq));
+  }
+}
+BENCHMARK(BM_SbConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

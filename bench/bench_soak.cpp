@@ -1,0 +1,103 @@
+// Experiment S1 — scale soak: a large fully-utilized system (M = 16,
+// long horizon, thousands of subtasks) through every scheduler, with all
+// invariants re-checked and wall-clock throughput reported.  Guards the
+// library's O(.) behaviour and shows the bounds do not erode with scale.
+#include <chrono>
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== S1: scale soak (M = 16, horizon 240) ===\n\n";
+
+  GeneratorConfig cfg;
+  cfg.processors = 16;
+  cfg.target_util = Rational(16);
+  cfg.horizon = 240;
+  cfg.seed = 4242;
+  const TaskSystem sys = generate_periodic(cfg);
+  std::cout << sys.summary() << "\n\n";
+  bool ok = sys.total_subtasks() > 3000;
+
+  TextTable t;
+  t.header({"scheduler", "wall ms", "subtasks/ms", "max tardiness (q)",
+            "invariants"});
+
+  const auto add = [&](const char* name, double ms, std::int64_t tard,
+                       bool good) {
+    t.row({name, cell(ms, 1),
+           cell(static_cast<double>(sys.total_subtasks()) / ms, 0),
+           cell(static_cast<double>(tard) /
+                static_cast<double>(kTicksPerSlot)),
+           good ? "ok" : "VIOLATED"});
+  };
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const SlotSchedule s = schedule_sfq(sys);
+    const double ms = ms_since(t0);
+    const bool good =
+        s.complete() && check_slot_schedule(sys, s).valid();
+    ok &= good;
+    add("PD2 / SFQ (scan)", ms, measure_tardiness(sys, s).max_ticks, good);
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const SlotSchedule s = schedule_sfq_indexed(sys);
+    const double ms = ms_since(t0);
+    const bool good =
+        s.complete() && check_slot_schedule(sys, s).valid();
+    ok &= good;
+    add("PD2 / SFQ (indexed)", ms, measure_tardiness(sys, s).max_ticks,
+        good);
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const SlotSchedule s = schedule_pdb(sys);
+    const double ms = ms_since(t0);
+    const std::int64_t tard = measure_tardiness(sys, s).max_ticks;
+    const bool good = s.complete() && tard <= kTicksPerSlot;
+    ok &= good;
+    add("PD^B", ms, tard, good);
+  }
+  {
+    const BernoulliYield yields(9, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                                kQuantum - kTick);
+    const auto t0 = std::chrono::steady_clock::now();
+    const DvqSchedule s = schedule_dvq(sys, yields);
+    const double ms = ms_since(t0);
+    const std::int64_t tard = measure_tardiness(sys, s).max_ticks;
+    const bool good = s.complete() && tard < kTicksPerSlot &&
+                      check_dvq_schedule(sys, s, kQuantum).valid();
+    ok &= good;
+    add("PD2 / DVQ", ms, tard, good);
+  }
+  {
+    const FullQuantumYield yields;
+    const auto t0 = std::chrono::steady_clock::now();
+    const DvqSchedule s = schedule_staggered(sys, yields);
+    const double ms = ms_since(t0);
+    const std::int64_t tard = measure_tardiness(sys, s).max_ticks;
+    const bool good = s.complete() && tard < kTicksPerSlot;
+    ok &= good;
+    add("PD2 / staggered", ms, tard, good);
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "Expected shape: every invariant holds at scale; the "
+               "indexed scheduler matches the\nscanner's schedule at "
+               "lower (or comparable) cost; tardiness bounds are "
+               "unchanged.\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

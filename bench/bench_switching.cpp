@@ -1,0 +1,65 @@
+// Experiment X9 — scheduler-mechanism cost proxies across quantum
+// models: context switches, migrations and job breaks (the quantities
+// implementation studies charge for — cache refills, IPIs, queue
+// operations).  The paper's motivation bullets predict: DVQ removes the
+// idling of SFQ without adding mechanism; early release further cuts job
+// breaks by letting a job's subtasks run back-to-back.
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== X9: context switches / migrations / job breaks ===\n\n";
+
+  constexpr int kM = 4;
+  GeneratorConfig cfg;
+  cfg.processors = kM;
+  cfg.target_util = Rational(kM);
+  cfg.weights = WeightClass::kHeavy;  // multi-subtask jobs
+  cfg.horizon = 40;
+  cfg.seed = 42;
+  const TaskSystem sys = generate_periodic(cfg);
+  const TaskSystem er = sys.with_early_release();
+  const BernoulliYield yields(7, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                              kQuantum - kTick);
+  std::cout << sys.summary() << "\n\n";
+
+  TextTable t;
+  t.header({"model", "ctx switches", "migrations", "job breaks",
+            "migr/subtask"});
+  bool ok = true;
+
+  const auto add = [&t](const char* name, const SwitchingStats& st) {
+    t.row({name, cell(st.context_switches), cell(st.migrations),
+           cell(st.job_breaks), cell(st.migrations_per_subtask())});
+  };
+
+  const SwitchingStats sfq = measure_switching(sys, schedule_sfq(sys));
+  add("PD2 / SFQ", sfq);
+  const SwitchingStats pdb = measure_switching(sys, schedule_pdb(sys));
+  add("PD^B / SFQ", pdb);
+  const SwitchingStats dvq =
+      measure_switching(sys, schedule_dvq(sys, yields));
+  add("PD2 / DVQ", dvq);
+  const SwitchingStats dvq_er =
+      measure_switching(er, schedule_dvq(er, yields));
+  add("PD2 / DVQ + ER", dvq_er);
+  const SwitchingStats stag =
+      measure_switching(sys, schedule_staggered(sys, yields));
+  add("PD2 / staggered", stag);
+
+  std::cout << t.str() << "\n";
+
+  // Shape: early release must not increase job breaks; every model
+  // schedules the same number of subtasks.
+  ok &= dvq_er.job_breaks <= dvq.job_breaks;
+  ok &= sfq.subtasks == dvq.subtasks && dvq.subtasks == stag.subtasks;
+
+  std::cout << "Expected shape: DVQ's mechanism counts stay in the same "
+               "regime as SFQ's (the\nreclamation is free of extra "
+               "scheduler invocations), and early release strictly\ncuts "
+               "job breaks by running a job's subtasks back-to-back.\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Experiment TH3 (detail) — tardiness distribution under PD2-DVQ as a
+// function of utilization and early-yield probability: how close the
+// observed misses come to the one-quantum bound (tightness), how many
+// subtasks are late at all, and the mean lateness of the late ones.
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== TH3 sweep: PD2-DVQ tardiness distribution ===\n\n";
+
+  constexpr std::int64_t kSeeds = 50;
+  constexpr int kM = 4;
+
+  TextTable t;
+  t.header({"util/M", "yield p", "late %", "mean late (q)", "p99 (q)",
+            "max (q)", "bound ok"});
+  bool ok = true;
+
+  struct Cfgs {
+    std::int64_t un, ud;  // utilization fraction of M
+    std::int64_t yn, yd;  // yield probability
+  };
+  const Cfgs rows[] = {
+      {1, 2, 1, 2}, {3, 4, 1, 2}, {1, 1, 1, 10},
+      {1, 1, 1, 2}, {1, 1, 9, 10},
+  };
+
+  for (const Cfgs& c : rows) {
+    std::mutex mu;
+    std::vector<double> late_quanta;
+    std::atomic<std::int64_t> total{0}, late{0}, max_ticks{0}, bad{0};
+    global_pool().parallel_for(0, kSeeds, [&](std::int64_t i) {
+      const auto seed = static_cast<std::uint64_t>(i) * 31 + 7;
+      GeneratorConfig cfg;
+      cfg.processors = kM;
+      cfg.target_util = Rational(kM) * Rational(c.un, c.ud);
+      cfg.horizon = 24;
+      cfg.seed = seed;
+      const TaskSystem sys = generate_periodic(cfg);
+      const BernoulliYield yields(seed, c.yn, c.yd,
+                                  Time::ticks(kTicksPerSlot / 2),
+                                  kQuantum - kTick);
+      const DvqSchedule dvq = schedule_dvq(sys, yields);
+      if (!dvq.complete()) {
+        ++bad;
+        return;
+      }
+      std::vector<double> local;
+      for (const std::int64_t v : tardiness_values_ticks(sys, dvq)) {
+        ++total;
+        if (v > 0) {
+          ++late;
+          local.push_back(static_cast<double>(v) /
+                          static_cast<double>(kTicksPerSlot));
+        }
+        std::int64_t cur = max_ticks.load();
+        while (v > cur && !max_ticks.compare_exchange_weak(cur, v)) {
+        }
+        if (v >= kTicksPerSlot) ++bad;
+      }
+      if (!local.empty()) {
+        std::lock_guard<std::mutex> lk(mu);
+        late_quanta.insert(late_quanta.end(), local.begin(), local.end());
+      }
+    });
+    ok &= bad.load() == 0;
+
+    double mean = 0, p99 = 0;
+    if (!late_quanta.empty()) {
+      for (const double v : late_quanta) mean += v;
+      mean /= static_cast<double>(late_quanta.size());
+      p99 = percentile(late_quanta, 99);
+    }
+    t.row({cell_ratio(c.un, c.ud, 2), cell_ratio(c.yn, c.yd, 2),
+           cell(100.0 * static_cast<double>(late.load()) /
+                    static_cast<double>(std::max<std::int64_t>(1, total)),
+                2),
+           cell(mean), cell(p99),
+           cell(static_cast<double>(max_ticks.load()) /
+                static_cast<double>(kTicksPerSlot)),
+           bad.load() == 0 ? "yes" : "NO"});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "M=" << kM << ", " << kSeeds
+            << " systems per row.  Expected shape: misses appear only "
+               "near full utilization,\nstay strictly below 1 quantum "
+               "(Theorem 3), and grow with the yield rate up to a point\n"
+               "(pervasive yields add slack and protect deadlines again)."
+            << "\n\n";
+  std::cout << "shape check (bound never exceeded): "
+            << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

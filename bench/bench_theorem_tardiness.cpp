@@ -1,0 +1,106 @@
+// Experiments TH1-TH3 — the paper's theorems as measurements.
+//
+// For a grid over processor counts, weight classes and yield regimes,
+// paired runs of the same workloads under
+//   PD2/SFQ (Theorem 0: optimal — zero tardiness),
+//   PD2/DVQ (Theorem 3: tardiness < 1 quantum),
+//   PD^B adversarial and benign (Theorem 2: tardiness <= 1 quantum),
+// checking per system the Theorem 1 chain
+//   tardiness(PD2-DVQ) <= ceil(tardiness(S_B(DVQ))) and <= 1 quantum.
+// The table reports max tardiness in quanta per condition — the "rows"
+// this paper's evaluation would print.
+#include <atomic>
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== TH1-TH3: tardiness bounds under DVQ and PD^B ===\n\n";
+
+  struct Grid {
+    int m;
+    WeightClass cls;
+  };
+  const Grid grid[] = {
+      {2, WeightClass::kMixed}, {2, WeightClass::kHeavy},
+      {4, WeightClass::kMixed}, {4, WeightClass::kLight},
+      {8, WeightClass::kMixed},
+  };
+  constexpr std::int64_t kSeeds = 40;
+
+  TextTable t;
+  t.header({"M", "class", "sfq max", "dvq max (q)", "pdb max (q)",
+            "pdb benign (q)", "th1 ok", "th2 ok", "th3 ok"});
+  bool all_ok = true;
+
+  for (const Grid g : grid) {
+    std::atomic<std::int64_t> sfq_max{0}, dvq_max{0}, pdb_max{0},
+        pdbb_max{0};
+    std::atomic<std::int64_t> th1_bad{0}, th2_bad{0}, th3_bad{0};
+    global_pool().parallel_for(0, kSeeds, [&](std::int64_t i) {
+      const auto seed = static_cast<std::uint64_t>(i) * 13 + 1;
+      GeneratorConfig cfg;
+      cfg.processors = g.m;
+      cfg.target_util = Rational(g.m);
+      cfg.horizon = 24;
+      cfg.weights = g.cls;
+      cfg.seed = seed;
+      const TaskSystem sys = generate_periodic(cfg);
+      const BernoulliYield yields(seed, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                                  kQuantum - kTick);
+
+      auto raise = [](std::atomic<std::int64_t>& a, std::int64_t v) {
+        std::int64_t cur = a.load();
+        while (v > cur && !a.compare_exchange_weak(cur, v)) {
+        }
+      };
+
+      const std::int64_t sfq =
+          measure_tardiness(sys, schedule_sfq(sys)).max_ticks;
+      raise(sfq_max, sfq);
+
+      const DvqSchedule dvq = schedule_dvq(sys, yields);
+      const std::int64_t dvq_t = measure_tardiness(sys, dvq).max_ticks;
+      raise(dvq_max, dvq_t);
+      if (dvq_t >= kTicksPerSlot) ++th3_bad;  // Theorem 3
+
+      // Theorem 1: against the S_B constructed from this very DVQ run.
+      const SbConstruction sbc = build_sb(sys, dvq);
+      const std::int64_t sb_t =
+          measure_tardiness(sbc.charged_system, sbc.sb).max_ticks;
+      const std::int64_t sb_ceil =
+          (sb_t + kTicksPerSlot - 1) / kTicksPerSlot * kTicksPerSlot;
+      if (dvq_t > sb_ceil) ++th1_bad;
+
+      PdbOptions po;
+      const std::int64_t pdb_t =
+          measure_tardiness(sys, schedule_pdb(sys, po)).max_ticks;
+      raise(pdb_max, pdb_t);
+      if (pdb_t > kTicksPerSlot) ++th2_bad;  // Theorem 2
+
+      po.mode = PdbMode::kBenign;
+      raise(pdbb_max, measure_tardiness(sys, schedule_pdb(sys, po)).max_ticks);
+    });
+
+    const bool ok =
+        th1_bad.load() == 0 && th2_bad.load() == 0 && th3_bad.load() == 0 &&
+        sfq_max.load() == 0;
+    all_ok &= ok;
+    auto q = [](std::int64_t ticks) {
+      return cell(static_cast<double>(ticks) /
+                  static_cast<double>(kTicksPerSlot));
+    };
+    t.row({cell(static_cast<std::int64_t>(g.m)), to_string(g.cls),
+           q(sfq_max.load()), q(dvq_max.load()), q(pdb_max.load()),
+           q(pdbb_max.load()), th1_bad.load() == 0 ? "yes" : "NO",
+           th2_bad.load() == 0 ? "yes" : "NO",
+           th3_bad.load() == 0 ? "yes" : "NO"});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << kSeeds << " fully-utilized systems per row; yields: "
+               "Bernoulli(1/2) in [0.5, 1) quanta\n";
+  std::cout << "shape check (all theorem columns hold, SFQ exact): "
+            << (all_ok ? "PASS" : "FAIL") << '\n';
+  return all_ok ? 0 : 1;
+}

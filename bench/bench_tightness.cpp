@@ -1,0 +1,70 @@
+// Experiment TH3-tightness — how close can PD2-DVQ tardiness get to the
+// one-quantum bound?  A greedy adversarial search over per-subtask yield
+// scripts (workload/adversary) pushes each random fully-utilized system
+// toward its worst case; the paper's Fig. 2 system serves as the
+// hand-crafted reference at exactly 1 - delta.
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  std::cout << "=== TH3 tightness: adversarial yield-script search ===\n\n";
+  bool ok = true;
+
+  // Reference: the paper's own witness, hand-crafted and re-discovered.
+  {
+    const FigureScenario sc = fig2_scenario(kTick);
+    const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields);
+    const std::int64_t t = measure_tardiness(sc.system, sched).max_ticks;
+    std::cout << "Fig. 2 hand-crafted witness: " << t << "/"
+              << kTicksPerSlot << " ticks = "
+              << static_cast<double>(t) / static_cast<double>(kTicksPerSlot)
+              << " quanta\n";
+    ok &= t == kTicksPerSlot - 1;
+
+    const AdversaryResult found = find_adversarial_yields(sc.system);
+    std::cout << "adversarial search on the same system finds: "
+              << static_cast<double>(found.max_tardiness_ticks) /
+                     static_cast<double>(kTicksPerSlot)
+              << " quanta in " << found.evaluations << " evaluations\n\n";
+    ok &= found.max_tardiness_ticks == kTicksPerSlot - 1;
+  }
+
+  TextTable t;
+  t.header({"M", "seed", "found (quanta)", "evaluations", "bound ok"});
+  std::int64_t global_best = 0;
+  for (const int m : {2, 3}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      GeneratorConfig cfg;
+      cfg.processors = m;
+      cfg.target_util = Rational(m);
+      cfg.horizon = 12;
+      cfg.seed = seed * 7 + static_cast<std::uint64_t>(m);
+      const TaskSystem sys = generate_periodic(cfg);
+      AdversaryOptions opts;
+      opts.seed = seed;
+      const AdversaryResult res = find_adversarial_yields(sys, opts);
+      global_best = std::max(global_best, res.max_tardiness_ticks);
+      ok &= res.max_tardiness_ticks < kTicksPerSlot;  // Theorem 3
+      t.row({cell(static_cast<std::int64_t>(m)), cell(
+                 static_cast<std::int64_t>(seed)),
+             cell(static_cast<double>(res.max_tardiness_ticks) /
+                  static_cast<double>(kTicksPerSlot)),
+             cell(res.evaluations),
+             res.max_tardiness_ticks < kTicksPerSlot ? "yes" : "NO"});
+    }
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "best found across the random sweep: "
+            << static_cast<double>(global_best) /
+                   static_cast<double>(kTicksPerSlot)
+            << " quanta\n";
+  std::cout << "\nExpected shape: the search rediscovers the paper's "
+               "1 - delta witness on the Fig. 2\nsystem; on random "
+               "systems misses are rare (most short-horizon systems are "
+               "robust)\nand the bound is never exceeded (Theorem 3)."
+               "\n\n";
+  std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Policy face-off: the same fully-utilized workload under every scheduler
+// in the library — the Pfair family (EPDF, PF, PD, PD2), algorithm PD^B,
+// the staggered model, the DVQ model, and the EDF baselines.  One table,
+// paper-shaped: Pfair policies sustain utilization M; EDF approaches
+// don't; desynchronization costs at most one quantum of tardiness.
+//
+//   $ ./examples/policy_faceoff [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pfair;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12345;
+
+  GeneratorConfig cfg;
+  cfg.processors = 4;
+  cfg.target_util = Rational(4);  // fully loaded: the Pfair stronghold
+  cfg.horizon = 36;
+  cfg.weights = WeightClass::kMixed;
+  cfg.seed = seed;
+  const TaskSystem sys = generate_periodic(cfg);
+  std::cout << "Workload (seed " << seed << "): " << sys.summary() << "\n\n";
+
+  TextTable t;
+  t.header({"scheduler", "model", "missed", "max tardiness (quanta)"});
+
+  auto slot_row = [&](const char* name, const SlotSchedule& sched) {
+    const TardinessSummary s = measure_tardiness(sys, sched);
+    t.row({name, "SFQ", std::to_string(s.late_subtasks + s.unscheduled),
+           cell(s.max_quanta())});
+  };
+  for (const Policy p :
+       {Policy::kEpdf, Policy::kPf, Policy::kPd, Policy::kPd2}) {
+    SfqOptions opts;
+    opts.policy = p;
+    slot_row(to_string(p), schedule_sfq(sys, opts));
+  }
+  slot_row("PD^B (adversarial)", schedule_pdb(sys));
+
+  const BernoulliYield yields(seed, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                              kQuantum - kTick);
+  {
+    const DvqSchedule d = schedule_dvq(sys, yields);
+    const TardinessSummary s = measure_tardiness(sys, d);
+    t.row({"PD2", "DVQ", std::to_string(s.late_subtasks),
+           cell(s.max_quanta())});
+  }
+  {
+    const DvqSchedule d = schedule_staggered(sys, yields);
+    const TardinessSummary s = measure_tardiness(sys, d);
+    t.row({"PD2", "staggered", std::to_string(s.late_subtasks),
+           cell(s.max_quanta())});
+  }
+  {
+    const JobScheduleResult r = run_global_edf(sys);
+    t.row({"global EDF", "job-level", std::to_string(r.missed_jobs),
+           cell(static_cast<double>(r.max_tardiness))});
+  }
+  {
+    const PartitionedEdfResult r = run_partitioned_edf(sys);
+    t.row({"partitioned EDF", "job-level",
+           r.partitioned ? std::to_string(r.schedule.missed_jobs)
+                         : "no partition",
+           r.partitioned ? cell(static_cast<double>(r.schedule.max_tardiness))
+                         : "-"});
+  }
+  std::cout << t.str();
+  std::cout << "\nReading: the optimal Pfair policies (PF/PD/PD2) stay at "
+               "zero even at utilization M;\nPD^B and PD2-DVQ stay within "
+               "one quantum (Theorems 2-3); EDF baselines degrade.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A soft real-time media server — the class of application the paper's
+// DVQ model targets (Sec. 1): WCETs are pessimistic, most frames decode
+// early, and bounded deadline misses are tolerable.
+//
+// Eight streams (mixed frame rates/costs) share four cores.  We compare:
+//   * SFQ — classical Pfair: early completions waste the rest of the
+//     quantum (the processor idles to the boundary);
+//   * DVQ — desynchronized Pfair: freed time is reclaimed immediately.
+// The server reports per-model idle time and tardiness: DVQ finishes the
+// same work sooner while missing deadlines by less than one quantum.
+//
+//   $ ./examples/video_server
+#include <iostream>
+
+#include "pfair/pfair.hpp"
+
+int main() {
+  using namespace pfair;
+  constexpr int kCores = 4;
+  constexpr std::int64_t kHorizon = 60;
+
+  // Streams: weight = decode quanta per frame period (in 1ms quanta).
+  struct Stream {
+    const char* name;
+    std::int64_t e, p;
+  };
+  const Stream streams[] = {
+      {"cam0-4k", 3, 4},   {"cam1-4k", 3, 4},   {"cam2-hd", 1, 2},
+      {"cam3-hd", 1, 2},   {"preview", 2, 5},   {"thumbs", 1, 6},
+      {"audio", 1, 12},    {"archive", 7, 12},
+  };
+  std::vector<Task> tasks;
+  for (const Stream& s : streams) {
+    tasks.push_back(Task::periodic(s.name, Weight(s.e, s.p), kHorizon));
+  }
+  const TaskSystem sys(std::move(tasks), kCores);
+  std::cout << "Media server: " << sys.summary() << "\n";
+  std::cout << "utilization " << sys.total_utilization().to_double() << " of "
+            << kCores << " cores\n\n";
+
+  // Most frames are easier than their WCET: 70% finish early, using
+  // between 30% and 95% of the quantum.
+  const BernoulliYield yields(/*seed=*/2024, 7, 10,
+                              Time::ticks(3 * kTicksPerSlot / 10),
+                              Time::ticks(19 * kTicksPerSlot / 20));
+
+  // The actual work is identical in both models: the sum of the drawn
+  // execution costs.
+  std::int64_t busy = 0;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      busy += yields.checked_cost(sys, SubtaskRef{k, s}).raw_ticks();
+    }
+  }
+
+  // --- SFQ: schedule at boundaries; early completions idle to the next
+  //     boundary, so the span is the full slot horizon. -------------------
+  const SlotSchedule sfq = schedule_sfq(sys);
+  const std::int64_t sfq_span = sfq.horizon() * kTicksPerSlot * kCores;
+
+  // --- DVQ: work-conserving reclamation finishes the same work sooner. ---
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
+  const std::int64_t dvq_span = dvq.makespan().raw_ticks() * kCores;
+  const TardinessSummary tard = measure_tardiness(sys, dvq);
+
+  auto idle_pct = [&](std::int64_t span) {
+    return 100.0 * static_cast<double>(span - busy) /
+           static_cast<double>(span);
+  };
+  TextTable t;
+  t.header({"model", "makespan", "idle %", "max tardiness (quanta)"});
+  t.row({"SFQ", std::to_string(sfq.horizon()), cell(idle_pct(sfq_span), 1),
+         "0.000 (optimal)"});
+  t.row({"DVQ", cell(dvq.makespan().to_double(), 2),
+         cell(idle_pct(dvq_span), 1), cell(tard.max_quanta())});
+  std::cout << t.str() << "\n";
+
+  std::cout << "late frames: " << tard.late_subtasks << " / "
+            << tard.total_subtasks << " (worst-hit subtask of task "
+            << (tard.late_subtasks > 0
+                    ? sys.task(tard.worst.task).name()
+                    : std::string("-"))
+            << ")\n";
+  std::cout << "soft real-time guarantee (Theorem 3): every frame within "
+               "one 1ms quantum of its deadline: "
+            << std::boolalpha << (tard.max_ticks < kTicksPerSlot) << "\n";
+  return tard.max_ticks < kTicksPerSlot ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# One-command reproduction: build, test, run every paper experiment, and
+# regenerate the figures.  See EXPERIMENTS.md for what each bench checks.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done
+build/examples/figure_gallery figures
+echo "reproduction complete — figures/ regenerated, all shape checks above"

@@ -1,0 +1,125 @@
+#include "analysis/blocking.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfair {
+
+namespace {
+
+/// Flat view of one placed subtask with readiness information.
+struct Item {
+  SubtaskRef ref;
+  Time start;
+  Time completion;
+  Time ready;       ///< max(slots(e), predecessor completion)
+  bool has_pred = false;
+  Time pred_completion;
+  std::int64_t eligible = 0;
+};
+
+}  // namespace
+
+BlockingReport analyze_blocking(const TaskSystem& sys,
+                                const DvqSchedule& sched, Policy policy) {
+  const PriorityOrder order(sys, policy);
+  BlockingReport rep;
+
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(sys.total_subtasks()));
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    Time prev_completion;
+    bool has_prev = false;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const DvqPlacement& p = sched.placement(ref);
+      if (!p.placed) continue;  // truncated run: skip
+      Item it;
+      it.ref = ref;
+      it.start = p.start;
+      it.completion = p.completion();
+      it.eligible = task.subtask(s).eligible;
+      it.has_pred = has_prev;
+      if (has_prev) it.pred_completion = prev_completion;
+      it.ready = std::max(Time::slots(it.eligible),
+                          has_prev ? prev_completion : Time());
+      items.push_back(it);
+      prev_completion = it.completion;
+      has_prev = true;
+    }
+  }
+
+  const std::int64_t end = sched.makespan().slot_ceil();
+  for (std::int64_t t = 1; t <= end; ++t) {
+    ++rep.instants_checked;
+    const Time tt = Time::slots(t);
+
+    // Subtasks executing at t: scheduled in (t-1, t].
+    std::vector<const Item*> exec;
+    for (const Item& it : items) {
+      if (it.start > Time::slots(t - 1) && it.start <= tt) exec.push_back(&it);
+    }
+    if (exec.empty()) continue;
+
+    // Waiting subtasks at t: ready at or before t, not yet started.
+    // Blocked iff some executing subtask has strictly lower priority.
+    std::vector<const Item*> blocked_pred;  // the paper's U (e <= t-1)
+    for (const Item& it : items) {
+      if (it.start <= tt || it.ready > tt) continue;
+      const bool inverted =
+          std::any_of(exec.begin(), exec.end(), [&](const Item* e) {
+            return order.strictly_higher(it.ref, e->ref);
+          });
+      if (!inverted) continue;
+      if (it.eligible == t) {
+        ++rep.eligibility_blocked;
+      } else if (it.eligible < t) {
+        ++rep.predecessor_blocked;
+        blocked_pred.push_back(&it);
+      }
+    }
+
+    if (blocked_pred.empty()) continue;
+    ++rep.lemma1_applications;
+
+    // Lemma 1(a): each U_j must not be ready until exactly t — its
+    // predecessor exists and completes at t.
+    for (const Item* u : blocked_pred) {
+      if (!u->has_pred || u->pred_completion != tt) {
+        ++rep.lemma1a_violations;
+        if (rep.details.size() < 8) {
+          std::ostringstream os;
+          os << "t=" << t << ": " << u->ref
+             << " predecessor does not complete at t (ready " << u->ready
+             << ")";
+          rep.details.push_back(os.str());
+        }
+      }
+    }
+
+    // Lemma 1(b): a set V with e(V_k) = t, S(V_k) = t, |V| >= |U|, and
+    // every V_k with priority at least every U_j.
+    std::int64_t v_count = 0;
+    for (const Item& v : items) {
+      if (v.eligible != t || v.start != tt) continue;
+      const bool dominates_all = std::all_of(
+          blocked_pred.begin(), blocked_pred.end(), [&](const Item* u) {
+            return order.at_least(v.ref, u->ref);
+          });
+      if (dominates_all) ++v_count;
+    }
+    if (v_count < static_cast<std::int64_t>(blocked_pred.size())) {
+      ++rep.lemma1b_violations;
+      if (rep.details.size() < 8) {
+        std::ostringstream os;
+        os << "t=" << t << ": |V|=" << v_count << " < |U|="
+           << blocked_pred.size();
+        rep.details.push_back(os.str());
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace pfair

@@ -1,0 +1,61 @@
+#include "analysis/charged_free.hpp"
+
+namespace pfair {
+
+const char* to_string(SubtaskClass c) {
+  switch (c) {
+    case SubtaskClass::kAligned:
+      return "Aligned";
+    case SubtaskClass::kOlapped:
+      return "Olapped";
+    case SubtaskClass::kFree:
+      return "Free";
+    case SubtaskClass::kUnplaced:
+      return "unplaced";
+  }
+  return "?";
+}
+
+SubtaskClass classify_placement(const DvqPlacement& p) {
+  PFAIR_REQUIRE(p.placed, "cannot classify an unplaced subtask");
+  if (p.start.is_slot_boundary()) return SubtaskClass::kAligned;
+  const Time completion = p.completion();
+  const Time next_boundary = Time::slots(p.start.slot_floor() + 1);
+  if (!completion.is_slot_boundary() && completion > next_boundary) {
+    return SubtaskClass::kOlapped;
+  }
+  return SubtaskClass::kFree;
+}
+
+Classification classify(const TaskSystem& sys, const DvqSchedule& sched) {
+  Classification out;
+  out.cls.resize(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    auto& row = out.cls[static_cast<std::size_t>(k)];
+    row.reserve(static_cast<std::size_t>(task.num_subtasks()));
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const DvqPlacement& p = sched.placement(SubtaskRef{k, s});
+      SubtaskClass c = SubtaskClass::kUnplaced;
+      if (p.placed) c = classify_placement(p);
+      row.push_back(c);
+      switch (c) {
+        case SubtaskClass::kAligned:
+          ++out.aligned;
+          break;
+        case SubtaskClass::kOlapped:
+          ++out.olapped;
+          break;
+        case SubtaskClass::kFree:
+          ++out.free;
+          break;
+        case SubtaskClass::kUnplaced:
+          ++out.unplaced;
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pfair

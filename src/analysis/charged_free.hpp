@@ -1,0 +1,47 @@
+// The Aligned / Olapped / Free classification of Sec. 3.2 (Fig. 4).
+//
+// Given a DVQ schedule S_DQ:
+//   Aligned — subtasks commencing exactly on a slot boundary;
+//   Olapped — subtasks that neither commence nor complete on a boundary
+//             but straddle one (start non-integral, completion
+//             non-integral, completion > floor(start) + 1);
+//   Free    — everything else: subtasks executing strictly inside one
+//             slot (or touching its end exactly).
+// Charged = Aligned ∪ Olapped is the set retained in the reduced task
+// system tau' on which S_B is built.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dvq/dvq_schedule.hpp"
+
+namespace pfair {
+
+enum class SubtaskClass { kAligned, kOlapped, kFree, kUnplaced };
+
+[[nodiscard]] const char* to_string(SubtaskClass c);
+
+/// Classification of every subtask of a DVQ schedule.
+struct Classification {
+  std::vector<std::vector<SubtaskClass>> cls;  // [task][seq]
+  std::int64_t aligned = 0, olapped = 0, free = 0, unplaced = 0;
+
+  [[nodiscard]] SubtaskClass of(const SubtaskRef& ref) const {
+    return cls[static_cast<std::size_t>(ref.task)]
+              [static_cast<std::size_t>(ref.seq)];
+  }
+  [[nodiscard]] bool charged(const SubtaskRef& ref) const {
+    const SubtaskClass c = of(ref);
+    return c == SubtaskClass::kAligned || c == SubtaskClass::kOlapped;
+  }
+};
+
+/// Classifies one placed subtask.
+[[nodiscard]] SubtaskClass classify_placement(const DvqPlacement& p);
+
+/// Classifies every subtask of `sched`.
+[[nodiscard]] Classification classify(const TaskSystem& sys,
+                                      const DvqSchedule& sched);
+
+}  // namespace pfair

@@ -1,0 +1,213 @@
+#include "analysis/compliance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+namespace {
+
+/// The k-compliant task system: every window right-shifted by one slot
+/// (theta + 1, hence r + 1 and d + 1), eligibility advanced back to its
+/// tau^B value for subtasks of rank <= k.
+TaskSystem make_k_compliant_system(
+    const TaskSystem& tau_b,
+    const std::vector<std::vector<std::int64_t>>& rank, std::int64_t k) {
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(tau_b.num_tasks()));
+  for (std::int32_t ti = 0; ti < tau_b.num_tasks(); ++ti) {
+    const Task& task = tau_b.task(ti);
+    std::vector<Task::SubtaskSpec> specs;
+    specs.reserve(static_cast<std::size_t>(task.num_subtasks()));
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const Subtask& sub = task.subtask(s);
+      const bool advanced =
+          rank[static_cast<std::size_t>(ti)][static_cast<std::size_t>(s)] <=
+          k;
+      specs.push_back(Task::SubtaskSpec{
+          sub.index, sub.theta + 1,
+          advanced ? sub.eligible : sub.eligible + 1});
+    }
+    tasks.push_back(Task::gis(task.name() + "+1", task.weight(), specs));
+  }
+  return TaskSystem(std::move(tasks), tau_b.processors());
+}
+
+/// PD2 with the first-k subtasks pinned to their S_B slots: pinned
+/// subtasks are placed unconditionally at their slots; the remaining
+/// processors go to the highest-PD2-priority ready unpinned subtasks.
+SlotSchedule schedule_pinned_pd2(
+    const TaskSystem& sys,
+    const std::vector<std::vector<std::int64_t>>& pin_slot) {
+  const std::int64_t limit = default_horizon(sys) + 2;
+  const PriorityOrder order(sys, Policy::kPd2);
+  SlotSchedule sched(sys);
+
+  const auto n_tasks = static_cast<std::size_t>(sys.num_tasks());
+  std::vector<std::int64_t> head(n_tasks, 0);
+  std::vector<std::int64_t> last_slot(n_tasks, -1);
+  std::int64_t remaining = sys.total_subtasks();
+
+  std::vector<SubtaskRef> ready;
+  for (std::int64_t t = 0; t < limit && remaining > 0; ++t) {
+    int used = 0;
+    // 1. Pinned subtasks due at t.
+    for (std::size_t kk = 0; kk < n_tasks; ++kk) {
+      const Task& task = sys.task(static_cast<std::int64_t>(kk));
+      const std::int64_t h = head[kk];
+      if (h >= task.num_subtasks()) continue;
+      if (pin_slot[kk][static_cast<std::size_t>(h)] != t) continue;
+      sched.place(SubtaskRef{static_cast<std::int32_t>(kk),
+                             static_cast<std::int32_t>(h)},
+                  t, used++);
+      ++head[kk];
+      last_slot[kk] = t;
+      --remaining;
+    }
+    // 2. PD2 over ready unpinned heads.
+    ready.clear();
+    for (std::size_t kk = 0; kk < n_tasks; ++kk) {
+      const Task& task = sys.task(static_cast<std::int64_t>(kk));
+      const std::int64_t h = head[kk];
+      if (h >= task.num_subtasks()) continue;
+      if (pin_slot[kk][static_cast<std::size_t>(h)] >= 0) continue;
+      const Subtask& s = task.subtask(h);
+      if (s.eligible > t) continue;
+      if (h > 0 && last_slot[kk] >= t) continue;
+      ready.push_back(SubtaskRef{static_cast<std::int32_t>(kk),
+                                 static_cast<std::int32_t>(h)});
+    }
+    const auto capacity = static_cast<std::size_t>(
+        std::max(0, sys.processors() - used));
+    const auto m = std::min(capacity, ready.size());
+    std::partial_sort(ready.begin(),
+                      ready.begin() + static_cast<std::ptrdiff_t>(m),
+                      ready.end(),
+                      [&order](const SubtaskRef& a, const SubtaskRef& b) {
+                        return order.higher(a, b);
+                      });
+    for (std::size_t r = 0; r < m; ++r) {
+      const SubtaskRef ref = ready[r];
+      sched.place(ref, t, used++);
+      const auto kk = static_cast<std::size_t>(ref.task);
+      ++head[kk];
+      last_slot[kk] = t;
+      --remaining;
+    }
+  }
+  return sched;
+}
+
+}  // namespace
+
+ComplianceResult run_compliance(const TaskSystem& tau_b,
+                                const ComplianceOptions& opts) {
+  ComplianceResult res;
+
+  // 1. PD^B schedule of tau^B, with the decision order defining ranks.
+  PdbTrace trace;
+  PdbOptions pdb_opts;
+  pdb_opts.mode = opts.pdb_mode;
+  pdb_opts.trace = &trace;
+  const SlotSchedule sb = schedule_pdb(tau_b, pdb_opts);
+  if (!sb.complete()) {
+    res.failure = "PD^B did not schedule every subtask within the horizon";
+    return res;
+  }
+  res.sb_max_tardiness =
+      measure_tardiness(tau_b, sb).max_ticks / kTicksPerSlot;
+
+  const auto n_tasks = static_cast<std::size_t>(tau_b.num_tasks());
+  std::vector<std::vector<std::int64_t>> rank(n_tasks);
+  std::vector<std::vector<std::int64_t>> sb_slot(n_tasks);
+  for (std::size_t ti = 0; ti < n_tasks; ++ti) {
+    const auto n = static_cast<std::size_t>(
+        tau_b.task(static_cast<std::int64_t>(ti)).num_subtasks());
+    rank[ti].assign(n, -1);
+    sb_slot[ti].assign(n, -1);
+  }
+  std::int64_t next_rank = 1;
+  std::vector<SubtaskRef> by_rank(
+      static_cast<std::size_t>(tau_b.total_subtasks()) + 1);
+  for (const PdbDecision& d : trace.decisions) {
+    rank[static_cast<std::size_t>(d.chosen.task)]
+        [static_cast<std::size_t>(d.chosen.seq)] = next_rank;
+    by_rank[static_cast<std::size_t>(next_rank)] = d.chosen;
+    sb_slot[static_cast<std::size_t>(d.chosen.task)]
+           [static_cast<std::size_t>(d.chosen.seq)] = d.slot;
+    ++next_rank;
+  }
+  res.ranks = next_rank - 1;
+  PFAIR_ASSERT(res.ranks == tau_b.total_subtasks());
+
+  // 2. Induction on k.  pin_slot holds the S_B slot for ranks <= k.
+  std::vector<std::vector<std::int64_t>> pin(n_tasks);
+  for (std::size_t ti = 0; ti < n_tasks; ++ti) {
+    pin[ti].assign(rank[ti].size(), -1);
+  }
+
+  SlotSchedule prev = [&] {
+    const TaskSystem tau0 = make_k_compliant_system(tau_b, rank, 0);
+    return schedule_pinned_pd2(tau0, pin);
+  }();
+  {
+    const TaskSystem tau0 = make_k_compliant_system(tau_b, rank, 0);
+    const ValidityReport rep = check_slot_schedule(tau0, prev, 0);
+    ++res.steps_checked;
+    if (!rep.valid()) {
+      std::ostringstream os;
+      os << "0-compliant PD2 schedule invalid: " << rep.str();
+      res.failure = os.str();
+      return res;
+    }
+  }
+
+  for (std::int64_t k = 1; k <= res.ranks; ++k) {
+    const SubtaskRef t_i = by_rank[static_cast<std::size_t>(k)];
+    const auto ti = static_cast<std::size_t>(t_i.task);
+    const auto si = static_cast<std::size_t>(t_i.seq);
+    const std::int64_t target = sb_slot[ti][si];
+    pin[ti][si] = target;
+
+    // Classify the step against the proof's cases using S_k (= prev).
+    // Only meaningful when prev is refreshed at every step.
+    if (opts.check_all_steps) {
+      const SlotPlacement& was = prev.placement(t_i);
+      if (was.slot == target) {
+        ++res.already_placed;
+      } else {
+        const auto load = static_cast<std::int64_t>(
+            prev.slot_contents(target).size());
+        if (load < tau_b.processors()) {
+          ++res.holes_used;  // case C1
+        } else {
+          ++res.swaps_used;  // cases C2/C3
+        }
+      }
+    }
+
+    const bool check = opts.check_all_steps || k == res.ranks;
+    if (!check) continue;
+
+    const TaskSystem tau_k = make_k_compliant_system(tau_b, rank, k);
+    const SlotSchedule sk = schedule_pinned_pd2(tau_k, pin);
+    const ValidityReport rep = check_slot_schedule(tau_k, sk, 0);
+    ++res.steps_checked;
+    if (!rep.valid()) {
+      std::ostringstream os;
+      os << k << "-compliant schedule invalid: " << rep.str();
+      res.failure = os.str();
+      return res;
+    }
+    prev = sk;
+  }
+
+  res.ok = true;
+  return res;
+}
+
+}  // namespace pfair

@@ -1,0 +1,62 @@
+#include "analysis/hyperperiod.hpp"
+
+#include <numeric>
+
+#include "core/rational.hpp"
+
+namespace pfair {
+
+std::int64_t hyperperiod(const TaskSystem& sys) {
+  PFAIR_REQUIRE(sys.num_tasks() > 0, "hyperperiod of an empty system");
+  std::int64_t h = 1;
+  constexpr std::int64_t kBound = std::int64_t{1} << 40;
+  for (const Task& t : sys.tasks()) {
+    h = std::lcm(h, t.weight().p);
+    PFAIR_REQUIRE(h <= kBound, "hyperperiod exceeds 2^40 slots");
+  }
+  return h;
+}
+
+PeriodicityReport check_schedule_periodicity(const TaskSystem& sys,
+                                             const SlotSchedule& sched) {
+  PeriodicityReport rep;
+  rep.hyper = hyperperiod(sys);
+
+  // Applicability: synchronous periodic tasks, utilization exactly M
+  // (with slack, the greedy scheduler's idle patterns need not repeat),
+  // and at least two hyperperiods of schedule.
+  for (const Task& t : sys.tasks()) {
+    if (t.kind() != TaskKind::kPeriodic) return rep;
+  }
+  if (sys.total_utilization() != Rational(sys.processors())) return rep;
+  if (sched.horizon() < 2 * rep.hyper) return rep;
+  rep.applicable = true;
+
+  // Per task: the slot set in window [H, 2H) must equal the slot set in
+  // [0, H) shifted by H.
+  rep.periodic = true;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    std::vector<std::int64_t> first, second;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.scheduled()) {
+        rep.periodic = false;
+        return rep;
+      }
+      if (p.slot < rep.hyper) {
+        first.push_back(p.slot);
+      } else if (p.slot < 2 * rep.hyper) {
+        second.push_back(p.slot - rep.hyper);
+      }
+    }
+    if (first != second) {
+      rep.periodic = false;
+      return rep;
+    }
+  }
+  rep.periods_compared = 2;
+  return rep;
+}
+
+}  // namespace pfair

@@ -1,0 +1,40 @@
+// Hyperperiod analysis for synchronous periodic systems.
+//
+// The schedule produced by a deterministic Pfair policy for a synchronous
+// periodic system is itself periodic: at every multiple of the
+// hyperperiod H = lcm of the task periods, all fully-loaded systems
+// return to the initial state (every task's allocation count equals its
+// fluid share, so all lags are zero), and the slot pattern repeats.
+// This gives an exact, finite verification horizon: validity over [0, H)
+// implies validity forever.  `check_schedule_periodicity` verifies the
+// repetition property on a concrete schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// lcm of the task periods.  Requires at least one task; throws if the
+/// lcm overflows a practical bound (2^40 slots).
+[[nodiscard]] std::int64_t hyperperiod(const TaskSystem& sys);
+
+/// Result of the periodicity check.
+struct PeriodicityReport {
+  bool applicable = false;  ///< synchronous periodic, util == M, horizon OK
+  bool periodic = false;    ///< slot pattern of period H confirmed
+  std::int64_t hyper = 0;
+  std::int64_t periods_compared = 0;
+};
+
+/// Verifies that a (complete, valid) schedule of a *fully utilized*
+/// synchronous periodic system repeats with the hyperperiod: the subtask
+/// scheduled for task T in slot t + H is exactly the successor-by-e of
+/// the one in slot t.  Requires the schedule to cover at least two
+/// hyperperiods.
+[[nodiscard]] PeriodicityReport check_schedule_periodicity(
+    const TaskSystem& sys, const SlotSchedule& sched);
+
+}  // namespace pfair

@@ -1,0 +1,56 @@
+#include "analysis/lag.hpp"
+
+namespace pfair {
+
+Rational lag(const TaskSystem& sys, const SlotSchedule& sched,
+             std::int64_t task, std::int64_t t) {
+  PFAIR_REQUIRE(t >= 0, "lag at negative time");
+  const Task& tk = sys.task(task);
+  std::int64_t allocated = 0;
+  for (std::int64_t s = 0; s < tk.num_subtasks(); ++s) {
+    const SlotPlacement& p = sched.placement(
+        SubtaskRef{static_cast<std::int32_t>(task),
+                   static_cast<std::int32_t>(s)});
+    if (p.scheduled() && p.slot < t) ++allocated;
+  }
+  return tk.weight().value() * Rational(t) - Rational(allocated);
+}
+
+LagRange lag_range(const TaskSystem& sys, const SlotSchedule& sched,
+                   std::int64_t horizon) {
+  LagRange range;
+  bool first = true;
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& tk = sys.task(k);
+    const Rational w = tk.weight().value();
+    // Incremental: lag(t+1) = lag(t) + w - scheduled_in_slot(t).
+    std::vector<bool> in_slot(static_cast<std::size_t>(horizon), false);
+    for (std::int64_t s = 0; s < tk.num_subtasks(); ++s) {
+      const SlotPlacement& p = sched.placement(
+          SubtaskRef{static_cast<std::int32_t>(k),
+                     static_cast<std::int32_t>(s)});
+      if (p.scheduled() && p.slot < horizon) {
+        in_slot[static_cast<std::size_t>(p.slot)] = true;
+      }
+    }
+    Rational cur;  // lag at t = 0 is 0
+    for (std::int64_t t = 0; t <= horizon; ++t) {
+      if (first || cur < range.min) range.min = cur;
+      if (first || cur > range.max) range.max = cur;
+      first = false;
+      if (t < horizon) {
+        cur += w;
+        if (in_slot[static_cast<std::size_t>(t)]) cur -= Rational(1);
+      }
+    }
+  }
+  return range;
+}
+
+bool is_pfair(const TaskSystem& sys, const SlotSchedule& sched,
+              std::int64_t horizon) {
+  const LagRange r = lag_range(sys, sched, horizon);
+  return r.min > Rational(-1) && r.max < Rational(1);
+}
+
+}  // namespace pfair

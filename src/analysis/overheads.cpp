@@ -1,0 +1,37 @@
+#include "analysis/overheads.hpp"
+
+#include <algorithm>
+
+namespace pfair {
+
+Rational overhead_budget(const TaskSystem& sys) {
+  PFAIR_REQUIRE(sys.num_tasks() > 0, "overhead budget of an empty system");
+  const Rational util_slack =
+      Rational(1) - sys.total_utilization() / Rational(sys.processors());
+  Rational weight_slack(1);
+  for (const Task& t : sys.tasks()) {
+    weight_slack = std::min(weight_slack, Rational(1) - t.weight().value());
+  }
+  const Rational budget = std::min(util_slack, weight_slack);
+  return std::max(budget, Rational(0));
+}
+
+TaskSystem inflate_for_overheads(const TaskSystem& sys, const Rational& f,
+                                 std::int64_t horizon) {
+  PFAIR_REQUIRE(f >= Rational(0) && f < Rational(1),
+                "overhead fraction " << f.str() << " outside [0, 1)");
+  PFAIR_REQUIRE(f <= overhead_budget(sys),
+                "overhead " << f.str() << " exceeds the budget "
+                            << overhead_budget(sys).str());
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(sys.num_tasks()));
+  for (const Task& t : sys.tasks()) {
+    const Rational w = t.weight().value() / (Rational(1) - f);
+    PFAIR_ASSERT(w <= Rational(1));
+    tasks.push_back(Task::periodic(t.name() + "^", Weight(w.num(), w.den()),
+                                   horizon));
+  }
+  return TaskSystem(std::move(tasks), sys.processors());
+}
+
+}  // namespace pfair

@@ -1,0 +1,29 @@
+// Overhead accounting — Sec. 3's assumption made concrete.
+//
+// The paper assumes zero preemption/migration cost and notes that "such
+// costs can be easily accounted for by inflating task execution costs
+// appropriately [10]" (Holman).  If every quantum loses the fraction f
+// of its capacity to overheads, a task of weight w needs an inflated
+// share w / (1 - f); the system stays feasible iff the inflated total
+// utilization is at most M.  This module computes the admissible
+// overhead budget and performs the inflation.
+#pragma once
+
+#include "core/rational.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// The largest per-quantum overhead fraction f such that inflating every
+/// weight by 1/(1-f) keeps the system feasible AND every individual
+/// weight at most 1: f* = min(1 - U/M, 1 - w_max).
+[[nodiscard]] Rational overhead_budget(const TaskSystem& sys);
+
+/// Inflates every weight w -> w / (1 - f) and re-materializes the system
+/// as synchronous periodic tasks over `horizon` slots.  Requires f to be
+/// within the overhead budget (checked).
+[[nodiscard]] TaskSystem inflate_for_overheads(const TaskSystem& sys,
+                                               const Rational& f,
+                                               std::int64_t horizon);
+
+}  // namespace pfair

@@ -1,0 +1,87 @@
+#include "analysis/pdb_blocking.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace pfair {
+
+Lemma2Report check_lemma2(const TaskSystem& sys, const SlotSchedule& sched,
+                          const PdbTrace& trace) {
+  Lemma2Report rep;
+  const PriorityOrder order(sys, Policy::kPd2);
+
+  // Group the trace's decisions by slot, in decision order.
+  std::map<std::int64_t, std::vector<const PdbDecision*>> by_slot;
+  for (const PdbDecision& d : trace.decisions) by_slot[d.slot].push_back(&d);
+
+  // Flat subtask view with readiness data.
+  struct Item {
+    SubtaskRef ref;
+    std::int64_t eligible;
+    std::int64_t slot;       // own placement
+    std::int64_t pred_slot;  // -1 when first subtask
+  };
+  std::vector<Item> items;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    std::int64_t prev = -1;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.scheduled()) continue;  // truncated run
+      items.push_back(
+          Item{SubtaskRef{k, s}, task.subtask(s).eligible, p.slot, prev});
+      prev = p.slot;
+    }
+  }
+
+  for (const auto& [t, decs] : by_slot) {
+    ++rep.slots_checked;
+    for (std::size_t r = 0; r < decs.size(); ++r) {
+      const SubtaskRef ti = decs[r]->chosen;
+      // Lemma 2 hypothesis (20): e(T_i) <= t - 1.
+      if (sys.subtask(ti).eligible > t - 1) continue;
+
+      // U: eligible by t-1, ready at or before t (predecessor completed
+      // by t), scheduled strictly after t, strictly higher priority.
+      std::vector<const Item*> u;
+      for (const Item& it : items) {
+        if (it.eligible > t - 1) continue;
+        if (it.pred_slot >= t && it.pred_slot != -1) continue;
+        if (it.slot <= t) continue;
+        if (!order.strictly_higher(it.ref, ti)) continue;
+        u.push_back(&it);
+      }
+      if (u.empty()) continue;
+      ++rep.inversions;
+      rep.blocked_subtasks += static_cast<std::int64_t>(u.size());
+
+      // V: subtasks decided in this slot *after* T_i, with e = t, each
+      // with priority at least every member of U.
+      std::int64_t v = 0;
+      for (std::size_t r2 = r + 1; r2 < decs.size(); ++r2) {
+        const SubtaskRef vk = decs[r2]->chosen;
+        if (sys.subtask(vk).eligible != t) continue;
+        bool dominates = true;
+        for (const Item* uj : u) {
+          if (!order.at_least(vk, uj->ref)) {
+            dominates = false;
+            break;
+          }
+        }
+        if (dominates) ++v;
+      }
+      if (v < static_cast<std::int64_t>(u.size())) {
+        ++rep.violations;
+        if (rep.details.size() < 8) {
+          std::ostringstream os;
+          os << "slot " << t << ", " << ti << ": |U|=" << u.size()
+             << " but only " << v << " witnesses";
+          rep.details.push_back(os.str());
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace pfair

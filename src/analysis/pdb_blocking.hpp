@@ -1,0 +1,41 @@
+// Lemma 2 — the PD^B counterpart of Lemma 1 (Sec. 3.1).
+//
+// In a PD^B schedule, whenever a subtask T_i scheduled at an integral
+// time t has a nonempty set U of *higher-priority* subtasks that were
+// ready at or before t, eligible by t-1, and yet scheduled after t (a
+// slot-granularity priority inversion), the lemma asserts the existence
+// of a witness set V with
+//   |V| >= |U|,  every V_k released-and-scheduled exactly at t
+//   (e(V_k) = t and S(V_k) = t),  V_k ⪯ U_j for all pairs,
+// and T_i selected *before* every V_k within slot t's decision sequence.
+//
+// This module detects such inversions in a traced PD^B run and verifies
+// the witness conditions — the executable form of Lemma 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/pdb_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+struct Lemma2Report {
+  std::int64_t slots_checked = 0;
+  std::int64_t inversions = 0;       ///< (T_i, t) pairs with nonempty U
+  std::int64_t blocked_subtasks = 0; ///< total |U| across inversions
+  std::int64_t violations = 0;       ///< witness-set failures
+  std::vector<std::string> details;
+
+  [[nodiscard]] bool holds() const { return violations == 0; }
+};
+
+/// Verifies Lemma 2 on every slot of a traced PD^B schedule.  The trace
+/// must come from the same run as `sched` (pass the same PdbOptions).
+[[nodiscard]] Lemma2Report check_lemma2(const TaskSystem& sys,
+                                        const SlotSchedule& sched,
+                                        const PdbTrace& trace);
+
+}  // namespace pfair

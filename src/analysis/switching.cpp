@@ -1,0 +1,90 @@
+#include "analysis/switching.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pfair {
+
+namespace {
+
+/// One executed quantum, normalized across schedule kinds.
+struct Exec {
+  std::int64_t start_ticks;
+  std::int64_t end_ticks;
+  int proc;
+  std::int32_t task;
+};
+
+SwitchingStats from_execs(std::vector<Exec> execs, int processors) {
+  SwitchingStats st;
+  st.subtasks = static_cast<std::int64_t>(execs.size());
+
+  // Context switches: per processor, occupant changes in time order.
+  std::sort(execs.begin(), execs.end(), [](const Exec& a, const Exec& b) {
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.start_ticks < b.start_ticks;
+  });
+  for (int p = 0; p < processors; ++p) {
+    std::int32_t occupant = -1;
+    for (const Exec& e : execs) {
+      if (e.proc != p) continue;
+      if (occupant != -1 && occupant != e.task) ++st.context_switches;
+      occupant = e.task;
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+SwitchingStats measure_switching(const TaskSystem& sys,
+                                 const SlotSchedule& sched) {
+  std::vector<Exec> execs;
+  SwitchingStats extra;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    const SlotPlacement* prev = nullptr;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.scheduled()) continue;
+      execs.push_back(Exec{p.slot * kTicksPerSlot,
+                           (p.slot + 1) * kTicksPerSlot, p.proc, k});
+      if (prev != nullptr) {
+        if (p.proc != prev->proc) ++extra.migrations;
+        if (p.slot != prev->slot + 1) ++extra.job_breaks;
+      }
+      prev = &p;
+    }
+  }
+  SwitchingStats st = from_execs(std::move(execs), sys.processors());
+  st.migrations = extra.migrations;
+  st.job_breaks = extra.job_breaks;
+  return st;
+}
+
+SwitchingStats measure_switching(const TaskSystem& sys,
+                                 const DvqSchedule& sched) {
+  std::vector<Exec> execs;
+  SwitchingStats extra;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    const DvqPlacement* prev = nullptr;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const DvqPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.placed) continue;
+      execs.push_back(Exec{p.start.raw_ticks(), p.completion().raw_ticks(),
+                           p.proc, k});
+      if (prev != nullptr) {
+        if (p.proc != prev->proc) ++extra.migrations;
+        if (p.start != prev->completion()) ++extra.job_breaks;
+      }
+      prev = &p;
+    }
+  }
+  SwitchingStats st = from_execs(std::move(execs), sys.processors());
+  st.migrations = extra.migrations;
+  st.job_breaks = extra.job_breaks;
+  return st;
+}
+
+}  // namespace pfair

@@ -1,0 +1,47 @@
+// Context-switch, preemption and migration accounting.
+//
+// The implementation studies the paper builds on (Holman's thesis, the
+// LITMUS lineage) evaluate Pfair variants by how much scheduler
+// mechanism they invoke: how often a processor switches occupants, how
+// often a task resumes on a *different* processor (migration — cache
+// refill cost), and how often a task is preempted mid-job.  These
+// metrics are derived purely from a finished schedule, for both slot
+// (SFQ/PD^B) and continuous (DVQ/staggered) schedules, so every model
+// comparison in the bench suite can report them.
+#pragma once
+
+#include <cstdint>
+
+#include "dvq/dvq_schedule.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+struct SwitchingStats {
+  /// Occupant changes on a processor between two consecutive quanta it
+  /// executes (idle gaps count as a change only when the occupant
+  /// differs across the gap).
+  std::int64_t context_switches = 0;
+  /// Subtask scheduled on a different processor than its predecessor.
+  std::int64_t migrations = 0;
+  /// Subtask NOT executed back-to-back with its predecessor (the task
+  /// was set aside while still having work) — a preemption-style break.
+  std::int64_t job_breaks = 0;
+  std::int64_t subtasks = 0;
+
+  [[nodiscard]] double migrations_per_subtask() const {
+    return subtasks == 0 ? 0.0
+                         : static_cast<double>(migrations) /
+                               static_cast<double>(subtasks);
+  }
+};
+
+/// Stats for a slot-granularity schedule.
+[[nodiscard]] SwitchingStats measure_switching(const TaskSystem& sys,
+                                               const SlotSchedule& sched);
+
+/// Stats for a continuous-time schedule.
+[[nodiscard]] SwitchingStats measure_switching(const TaskSystem& sys,
+                                               const DvqSchedule& sched);
+
+}  // namespace pfair

@@ -1,0 +1,59 @@
+// Tardiness — Eq. (7): tardiness(T_i, S) = max(0, completion - d(T_i)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dvq/dvq_schedule.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+/// Tardiness summary of one run.  Slot schedules report in whole slots;
+/// DVQ schedules in ticks (one quantum = kTicksPerSlot ticks).
+struct TardinessSummary {
+  std::int64_t max_ticks = 0;       ///< max subtask tardiness
+  std::int64_t total_ticks = 0;     ///< sum over subtasks
+  std::int64_t late_subtasks = 0;   ///< subtasks with tardiness > 0
+  std::int64_t total_subtasks = 0;
+  std::int64_t unscheduled = 0;     ///< never placed (horizon hit)
+  SubtaskRef worst;                 ///< a subtask attaining max_ticks
+
+  [[nodiscard]] bool none_late() const {
+    return late_subtasks == 0 && unscheduled == 0;
+  }
+  /// max tardiness in quanta, rounded up (for "at most one quantum").
+  [[nodiscard]] std::int64_t max_quanta_ceil() const {
+    return (max_ticks + kTicksPerSlot - 1) / kTicksPerSlot;
+  }
+  [[nodiscard]] double max_quanta() const {
+    return static_cast<double>(max_ticks) /
+           static_cast<double>(kTicksPerSlot);
+  }
+};
+
+/// Tardiness of one subtask in a slot schedule, in slots (completion is
+/// slot + 1).  Requires the subtask to be scheduled.
+[[nodiscard]] std::int64_t subtask_tardiness(const TaskSystem& sys,
+                                             const SlotSchedule& sched,
+                                             const SubtaskRef& ref);
+
+/// Tardiness of one subtask in a DVQ schedule, in ticks.
+[[nodiscard]] std::int64_t subtask_tardiness_ticks(const TaskSystem& sys,
+                                                   const DvqSchedule& sched,
+                                                   const SubtaskRef& ref);
+
+/// Whole-schedule summaries.
+[[nodiscard]] TardinessSummary measure_tardiness(const TaskSystem& sys,
+                                                 const SlotSchedule& sched);
+[[nodiscard]] TardinessSummary measure_tardiness(const TaskSystem& sys,
+                                                 const DvqSchedule& sched);
+
+/// Per-subtask tardiness values in ticks (slot schedules are scaled), for
+/// distribution plots.  Unscheduled subtasks are skipped.
+[[nodiscard]] std::vector<std::int64_t> tardiness_values_ticks(
+    const TaskSystem& sys, const SlotSchedule& sched);
+[[nodiscard]] std::vector<std::int64_t> tardiness_values_ticks(
+    const TaskSystem& sys, const DvqSchedule& sched);
+
+}  // namespace pfair

@@ -1,0 +1,178 @@
+#include "analysis/validity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace pfair {
+
+const char* to_string(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::kUnscheduled:
+      return "unscheduled";
+    case Violation::Kind::kBeforeEligible:
+      return "before-eligible";
+    case Violation::Kind::kDeadlineMiss:
+      return "deadline-miss";
+    case Violation::Kind::kIntraTaskParallel:
+      return "intra-task-parallelism";
+    case Violation::Kind::kOverloadedSlot:
+      return "overloaded-slot";
+    case Violation::Kind::kPrecedence:
+      return "precedence";
+  }
+  return "?";
+}
+
+std::string ValidityReport::str(std::size_t max_items) const {
+  if (valid()) return "valid";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (std::size_t i = 0; i < violations.size() && i < max_items; ++i) {
+    const Violation& v = violations[i];
+    os << "\n  [" << to_string(v.kind) << "] " << v.ref << ": " << v.detail;
+  }
+  if (violations.size() > max_items) os << "\n  ...";
+  return os.str();
+}
+
+namespace {
+
+void add(ValidityReport& rep, Violation::Kind kind, SubtaskRef ref,
+         const std::string& detail) {
+  rep.violations.push_back(Violation{kind, ref, detail});
+}
+
+}  // namespace
+
+ValidityReport check_slot_schedule(const TaskSystem& sys,
+                                   const SlotSchedule& sched,
+                                   std::int64_t tardiness_allowance) {
+  ValidityReport rep;
+  std::map<std::int64_t, std::int64_t> slot_load;
+
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    std::int64_t prev_slot = -1;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const Subtask& sub = task.subtask(s);
+      const SlotPlacement& p = sched.placement(ref);
+      if (!p.scheduled()) {
+        add(rep, Violation::Kind::kUnscheduled, ref,
+            "never placed (horizon reached?)");
+        continue;
+      }
+      ++slot_load[p.slot];
+      if (p.slot < sub.eligible) {
+        std::ostringstream os;
+        os << "slot " << p.slot << " < e = " << sub.eligible;
+        add(rep, Violation::Kind::kBeforeEligible, ref, os.str());
+      }
+      // Completion in the SFQ model is slot + 1.
+      if (p.slot + 1 > sub.deadline + tardiness_allowance) {
+        std::ostringstream os;
+        os << "completes at " << p.slot + 1 << " > d = " << sub.deadline
+           << " + allowance " << tardiness_allowance;
+        add(rep, Violation::Kind::kDeadlineMiss, ref, os.str());
+      }
+      if (s > 0 && p.slot <= prev_slot) {
+        std::ostringstream os;
+        if (p.slot == prev_slot) {
+          os << "shares slot " << p.slot << " with its predecessor";
+          add(rep, Violation::Kind::kIntraTaskParallel, ref, os.str());
+        } else {
+          os << "slot " << p.slot << " precedes predecessor slot "
+             << prev_slot;
+          add(rep, Violation::Kind::kPrecedence, ref, os.str());
+        }
+      }
+      prev_slot = p.slot;
+    }
+  }
+
+  for (const auto& [slot, load] : slot_load) {
+    if (load > sys.processors()) {
+      std::ostringstream os;
+      os << "slot " << slot << " holds " << load << " subtasks on "
+         << sys.processors() << " processors";
+      add(rep, Violation::Kind::kOverloadedSlot, SubtaskRef{}, os.str());
+    }
+  }
+  return rep;
+}
+
+ValidityReport check_dvq_schedule(const TaskSystem& sys,
+                                  const DvqSchedule& sched,
+                                  Time tardiness_allowance) {
+  ValidityReport rep;
+
+  // Per-processor occupancy for overlap checking.
+  struct Busy {
+    Time start, end;
+    SubtaskRef ref;
+  };
+  std::vector<std::vector<Busy>> per_proc(
+      static_cast<std::size_t>(sys.processors()));
+
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    Time prev_completion;
+    bool has_prev = false;
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const Subtask& sub = task.subtask(s);
+      const DvqPlacement& p = sched.placement(ref);
+      if (!p.placed) {
+        add(rep, Violation::Kind::kUnscheduled, ref,
+            "never placed (horizon reached?)");
+        continue;
+      }
+      if (p.start < Time::slots(sub.eligible)) {
+        std::ostringstream os;
+        os << "starts at " << p.start << " < e = " << sub.eligible;
+        add(rep, Violation::Kind::kBeforeEligible, ref, os.str());
+      }
+      if (p.completion() > Time::slots(sub.deadline) + tardiness_allowance) {
+        std::ostringstream os;
+        os << "completes at " << p.completion() << " > d = " << sub.deadline
+           << " + allowance " << tardiness_allowance;
+        add(rep, Violation::Kind::kDeadlineMiss, ref, os.str());
+      }
+      if (has_prev && p.start < prev_completion) {
+        std::ostringstream os;
+        os << "starts at " << p.start << " before predecessor completes at "
+           << prev_completion;
+        // Overlapping execution of one task = illegal parallelism; a
+        // non-overlapping but out-of-order start cannot happen with
+        // sequence-ordered placements, so report as parallelism.
+        add(rep, Violation::Kind::kIntraTaskParallel, ref, os.str());
+      }
+      prev_completion = p.completion();
+      has_prev = true;
+      if (p.proc >= 0 &&
+          static_cast<std::size_t>(p.proc) < per_proc.size()) {
+        per_proc[static_cast<std::size_t>(p.proc)].push_back(
+            Busy{p.start, p.completion(), ref});
+      }
+    }
+  }
+
+  // No two allocations may overlap on one processor ("overloaded"
+  // here means a processor double-booked at some instant).
+  for (auto& lane : per_proc) {
+    std::sort(lane.begin(), lane.end(),
+              [](const Busy& a, const Busy& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < lane.size(); ++i) {
+      if (lane[i].start < lane[i - 1].end) {
+        std::ostringstream os;
+        os << "overlaps " << lane[i - 1].ref << " on processor (starts "
+           << lane[i].start << " before " << lane[i - 1].end << ")";
+        add(rep, Violation::Kind::kOverloadedSlot, lane[i].ref, os.str());
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace pfair

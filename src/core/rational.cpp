@@ -1,0 +1,132 @@
+#include "core/rational.hpp"
+
+#include <ostream>
+
+namespace pfair {
+
+namespace {
+
+using I128 = __int128;
+
+std::int64_t checked_narrow(I128 v, const char* what) {
+  PFAIR_ASSERT_MSG(v >= INT64_MIN && v <= INT64_MAX,
+                   "rational overflow in " << what);
+  return static_cast<std::int64_t>(v);
+}
+
+/// Floored division for 128-bit dividend, positive divisor.
+I128 floordiv(I128 a, I128 b) {
+  PFAIR_ASSERT(b > 0);
+  I128 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+}  // namespace
+
+void Rational::normalize() {
+  PFAIR_REQUIRE(den_ != 0, "rational with zero denominator");
+  if (den_ < 0) {
+    PFAIR_ASSERT_MSG(den_ != INT64_MIN && num_ != INT64_MIN,
+                     "rational normalize overflow");
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::int64_t Rational::floor() const {
+  return checked_narrow(floordiv(num_, den_), "floor");
+}
+
+std::int64_t Rational::ceil() const {
+  return checked_narrow(-floordiv(-static_cast<I128>(num_), den_), "ceil");
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  const I128 n = static_cast<I128>(num_) * o.den_ +
+                 static_cast<I128>(o.num_) * den_;
+  const I128 d = static_cast<I128>(den_) * o.den_;
+  const I128 g0 = d == 0 ? 1 : 1;  // d > 0 always (both dens positive)
+  (void)g0;
+  // Reduce in 128-bit space before narrowing.
+  I128 a = n < 0 ? -n : n;
+  I128 b = d;
+  while (b != 0) {
+    const I128 t = a % b;
+    a = b;
+    b = t;
+  }
+  const I128 g = a == 0 ? 1 : a;
+  num_ = checked_narrow(n / g, "operator+=");
+  den_ = checked_narrow(d / g, "operator+=");
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce first to keep intermediates small.
+  const std::int64_t g1 = std::gcd(num_, o.den_);
+  const std::int64_t g2 = std::gcd(o.num_, den_);
+  const I128 n = static_cast<I128>(num_ / g1) * (o.num_ / g2);
+  const I128 d = static_cast<I128>(den_ / g2) * (o.den_ / g1);
+  num_ = checked_narrow(n, "operator*=");
+  den_ = checked_narrow(d, "operator*=");
+  if (num_ == 0) den_ = 1;
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  PFAIR_REQUIRE(o.num_ != 0, "division by zero rational");
+  Rational inv;
+  inv.num_ = o.den_;
+  inv.den_ = o.num_;
+  if (inv.den_ < 0) {
+    inv.num_ = -inv.num_;
+    inv.den_ = -inv.den_;
+  }
+  return *this *= inv;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const I128 lhs = static_cast<I128>(a.num_) * b.den_;
+  const I128 rhs = static_cast<I128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+std::int64_t floor_div_mul(std::int64_t a, std::int64_t b, std::int64_t c) {
+  PFAIR_REQUIRE(c > 0, "floor_div_mul requires positive divisor");
+  const I128 p = static_cast<I128>(a) * b;
+  I128 q = p / c;
+  if (p % c != 0 && p < 0) --q;
+  PFAIR_ASSERT(q >= INT64_MIN && q <= INT64_MAX);
+  return static_cast<std::int64_t>(q);
+}
+
+std::int64_t ceil_div_mul(std::int64_t a, std::int64_t b, std::int64_t c) {
+  PFAIR_REQUIRE(c > 0, "ceil_div_mul requires positive divisor");
+  const I128 p = static_cast<I128>(a) * b;
+  I128 q = p / c;
+  if (p % c != 0 && p > 0) ++q;
+  PFAIR_ASSERT(q >= INT64_MIN && q <= INT64_MAX);
+  return static_cast<std::int64_t>(q);
+}
+
+}  // namespace pfair

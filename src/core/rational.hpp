@@ -1,0 +1,92 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// Task weights, lags and utilization sums must be exact: Pfair window
+// formulas (Eqs. (2)-(4) of the paper) and the feasibility condition
+// sum(wt) <= M are integer-arithmetic statements, and a single ulp of
+// floating-point error can flip a schedulability verdict.  Intermediate
+// products are computed in __int128, so any value whose reduced form fits
+// in 64/64 bits is handled without overflow.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+/// An exact rational number `num/den`, always stored in lowest terms with
+/// `den > 0`.  Value-semantic, totally ordered, hashable.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// An integer value.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// `n/d`; `d` may be negative or zero is rejected.  Reduced on entry.
+  Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) { normalize(); }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  /// Largest integer <= *this.
+  [[nodiscard]] std::int64_t floor() const;
+  /// Smallest integer >= *this.
+  [[nodiscard]] std::int64_t ceil() const;
+
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+  friend Rational operator-(const Rational& a) {
+    Rational r;
+    r.num_ = -a.num_;
+    r.den_ = a.den_;
+    return r;
+  }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  /// Debug form "num/den" (or just "num" for integers).
+  [[nodiscard]] std::string str() const;
+
+  /// Closest double; for reporting only, never for scheduling decisions.
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  void normalize();
+
+  std::int64_t num_;
+  std::int64_t den_;  // > 0 after normalize()
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// floor(a*b/c) on 64-bit values with a 128-bit intermediate.
+/// Requires c > 0.  Handles negative a*b with mathematical (floored)
+/// semantics, unlike C++ integer division which truncates toward zero.
+std::int64_t floor_div_mul(std::int64_t a, std::int64_t b, std::int64_t c);
+
+/// ceil(a*b/c); same contract as floor_div_mul.
+std::int64_t ceil_div_mul(std::int64_t a, std::int64_t b, std::int64_t c);
+
+}  // namespace pfair

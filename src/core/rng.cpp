@@ -1,0 +1,30 @@
+#include "core/rng.hpp"
+
+namespace pfair {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  PFAIR_REQUIRE(lo <= hi, "uniform(" << lo << ", " << hi << ")");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+bool Rng::chance(std::int64_t num, std::int64_t den) {
+  PFAIR_REQUIRE(den > 0 && num >= 0 && num <= den,
+                "chance(" << num << "/" << den << ")");
+  if (num == 0) return false;
+  if (num == den) return true;
+  return uniform(1, den) <= num;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace pfair

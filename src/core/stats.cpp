@@ -1,0 +1,72 @@
+#include "core/stats.hpp"
+
+#include <cmath>
+
+namespace pfair {
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::min() const {
+  PFAIR_ASSERT(n_ > 0);
+  return min_;
+}
+
+double StreamingStats::max() const {
+  PFAIR_ASSERT(n_ > 0);
+  return max_;
+}
+
+double StreamingStats::mean() const {
+  PFAIR_ASSERT(n_ > 0);
+  return mean_;
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const auto n = n_ + o.n_;
+  const double delta = o.mean_ - mean_;
+  const double mean = mean_ + delta * static_cast<double>(o.n_) /
+                                  static_cast<double>(n);
+  m2_ = m2_ + o.m2_ +
+        delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  PFAIR_REQUIRE(!xs.empty(), "percentile of empty sample");
+  PFAIR_REQUIRE(p >= 0.0 && p <= 100.0, "percentile " << p);
+  std::sort(xs.begin(), xs.end());
+  if (p == 0.0) return xs.front();
+  const auto n = static_cast<double>(xs.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::min(rank, xs.size());
+  return xs[rank - 1];
+}
+
+}  // namespace pfair

@@ -1,0 +1,56 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+/// Welford streaming accumulator over doubles: count/min/max/mean/variance.
+/// Used only for *reporting* (tardiness summaries, idle fractions); all
+/// scheduling decisions use exact arithmetic.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Merge another accumulator (for parallel sweeps).
+  void merge(const StreamingStats& o);
+
+ private:
+  std::int64_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0;
+};
+
+/// Batch percentile: p in [0,100], nearest-rank method.  Copies + sorts.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Exact max over int64 samples with a "none yet" state.
+class MaxTracker {
+ public:
+  void add(std::int64_t x) {
+    if (!seen_ || x > max_) max_ = x;
+    seen_ = true;
+  }
+  [[nodiscard]] bool seen() const { return seen_; }
+  [[nodiscard]] std::int64_t max() const {
+    PFAIR_ASSERT(seen_);
+    return max_;
+  }
+
+ private:
+  bool seen_ = false;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace pfair

@@ -1,0 +1,97 @@
+#include "core/thread_pool.hpp"
+
+#include <exception>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--job_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& body,
+                              std::int64_t grain) {
+  PFAIR_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) return;
+
+  std::atomic<std::int64_t> cursor{begin};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto claim_loop = [&] {
+    for (;;) {
+      const std::int64_t lo = cursor.fetch_add(grain);
+      if (lo >= end) return;
+      const std::int64_t hi = std::min(lo + grain, end);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = claim_loop;
+    job_remaining_ = size();
+    ++job_epoch_;
+    cv_.notify_all();
+    // The calling thread participates too.
+    lk.unlock();
+    claim_loop();
+    lk.lock();
+    done_cv_.wait(lk, [&] { return job_remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pfair

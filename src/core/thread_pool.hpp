@@ -1,0 +1,58 @@
+// A minimal work-sharing thread pool for the experiment harness.
+//
+// Large randomized sweeps (thousands of independent task-system
+// simulations) are embarrassingly parallel; `parallel_for` splits an index
+// range into contiguous chunks, one in-flight chunk per worker, with a
+// shared atomic cursor for dynamic load balancing.  The simulators
+// themselves are single-threaded and share no mutable state, so no locking
+// is needed beyond the cursor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfair {
+
+/// Fixed-size pool created once and reused across sweeps.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Run `body(i)` for every i in [begin, end), distributing chunks of
+  /// `grain` indices across the pool.  Blocks until all iterations finish.
+  /// Exceptions thrown by `body` are rethrown (first one wins).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& body,
+                    std::int64_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> job_;       // current chunk-claiming loop
+  std::uint64_t job_epoch_ = 0;     // bumped per parallel_for
+  unsigned job_remaining_ = 0;      // workers still to finish current epoch
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for bench/test harness convenience.
+ThreadPool& global_pool();
+
+}  // namespace pfair

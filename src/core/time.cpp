@@ -1,0 +1,22 @@
+#include "core/time.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace pfair {
+
+std::string Time::str() const {
+  const std::int64_t s = slot_floor();
+  const std::int64_t rem = ticks_ - s * kTicksPerSlot;
+  std::ostringstream os;
+  if (rem == 0) {
+    os << s;
+  } else {
+    os << s << '+' << rem << "/2^20";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.str(); }
+
+}  // namespace pfair

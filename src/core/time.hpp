@@ -1,0 +1,105 @@
+// Exact simulated time.
+//
+// The DVQ model makes scheduling decisions at non-integral instants (a
+// subtask may yield delta before the end of its quantum), so time cannot be
+// a slot index.  We represent time as a signed 64-bit count of *ticks* with
+// 2^20 ticks per quantum/slot.  Every quantity the paper manipulates
+// (eligibility times, releases, deadlines: integers; yields, completions:
+// slot-fractions) is exactly representable, additions never round, and the
+// "delta -> 0" limit argument of Sec. 3 is realized by a one-tick yield.
+//
+// No floating point is used anywhere in scheduling decisions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+/// Number of ticks in one quantum (= one slot).  A power of two so that
+/// halving/offsetting (staggered model) stays exact.
+inline constexpr std::int64_t kTicksPerSlot = std::int64_t{1} << 20;
+
+/// A point on the simulated time line (or a duration), in ticks.
+/// Strongly typed to keep slot indices and tick counts from mixing.
+class Time {
+ public:
+  constexpr Time() : ticks_(0) {}
+
+  /// Named constructors ----------------------------------------------------
+  [[nodiscard]] static constexpr Time ticks(std::int64_t t) {
+    return Time(t);
+  }
+  [[nodiscard]] static constexpr Time slots(std::int64_t s) {
+    return Time(s * kTicksPerSlot);
+  }
+  /// `s + num/den` slots, exact; requires den to divide kTicksPerSlot times
+  /// num without remainder is NOT required — any rational with denominator
+  /// dividing 2^20 is exact; others are rejected.
+  [[nodiscard]] static Time slots_frac(std::int64_t s, std::int64_t num,
+                                       std::int64_t den) {
+    PFAIR_REQUIRE(den > 0 && num >= 0 && num <= den,
+                  "slot fraction must lie in [0,1]");
+    PFAIR_REQUIRE((kTicksPerSlot * num) % den == 0,
+                  "fraction " << num << "/" << den
+                              << " is not representable in ticks");
+    return Time(s * kTicksPerSlot + kTicksPerSlot * num / den);
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw_ticks() const { return ticks_; }
+
+  /// Slot containing this instant: floor(t).
+  [[nodiscard]] constexpr std::int64_t slot_floor() const {
+    // ticks_ may be negative in duration arithmetic; use floored division.
+    std::int64_t q = ticks_ / kTicksPerSlot;
+    if (ticks_ % kTicksPerSlot != 0 && ticks_ < 0) --q;
+    return q;
+  }
+  /// Smallest slot boundary >= this instant: ceil(t).
+  [[nodiscard]] constexpr std::int64_t slot_ceil() const {
+    std::int64_t q = ticks_ / kTicksPerSlot;
+    if (ticks_ % kTicksPerSlot != 0 && ticks_ > 0) ++q;
+    return q;
+  }
+  [[nodiscard]] constexpr bool is_slot_boundary() const {
+    return ticks_ % kTicksPerSlot == 0;
+  }
+
+  /// Reporting only; never used in decisions.
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(ticks_) / static_cast<double>(kTicksPerSlot);
+  }
+
+  /// Human-readable "s" or "s+num/2^20" form.
+  [[nodiscard]] std::string str() const;
+
+  constexpr Time& operator+=(Time o) {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ticks_ -= o.ticks_;
+    return *this;
+  }
+  friend constexpr Time operator+(Time a, Time b) { return a += b; }
+  friend constexpr Time operator-(Time a, Time b) { return a -= b; }
+  friend constexpr bool operator==(Time a, Time b) = default;
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+ private:
+  explicit constexpr Time(std::int64_t t) : ticks_(t) {}
+  std::int64_t ticks_;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+/// One full quantum as a duration.
+inline constexpr Time kQuantum = Time::slots(1);
+/// The smallest positive duration (the "delta -> 0" yield of the paper).
+inline constexpr Time kTick = Time::ticks(1);
+
+}  // namespace pfair

@@ -1,0 +1,50 @@
+#include "dvq/dvq_schedule.hpp"
+
+namespace pfair {
+
+DvqSchedule::DvqSchedule(const TaskSystem& sys)
+    : busy_ticks_(static_cast<std::size_t>(sys.processors()), 0) {
+  placements_.resize(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    placements_[static_cast<std::size_t>(k)].resize(
+        static_cast<std::size_t>(sys.task(k).num_subtasks()));
+  }
+}
+
+const DvqPlacement& DvqSchedule::placement(const SubtaskRef& ref) const {
+  PFAIR_REQUIRE(ref.task >= 0 &&
+                    static_cast<std::size_t>(ref.task) < placements_.size(),
+                "bad task in " << ref);
+  const auto& row = placements_[static_cast<std::size_t>(ref.task)];
+  PFAIR_REQUIRE(ref.seq >= 0 && static_cast<std::size_t>(ref.seq) < row.size(),
+                "bad seq in " << ref);
+  return row[static_cast<std::size_t>(ref.seq)];
+}
+
+void DvqSchedule::place(const SubtaskRef& ref, Time start, Time cost,
+                        int proc) {
+  PFAIR_REQUIRE(cost > Time() && cost <= kQuantum,
+                "cost must lie in (0,1], got " << cost);
+  PFAIR_REQUIRE(proc >= 0 &&
+                    static_cast<std::size_t>(proc) < busy_ticks_.size(),
+                "bad processor " << proc);
+  auto& p = const_cast<DvqPlacement&>(placement(ref));
+  PFAIR_ASSERT_MSG(!p.placed, "subtask " << ref << " placed twice");
+  p.start = start;
+  p.cost = cost;
+  p.proc = proc;
+  p.placed = true;
+  busy_ticks_[static_cast<std::size_t>(proc)] += cost.raw_ticks();
+  makespan_ = std::max(makespan_, p.completion());
+}
+
+bool DvqSchedule::complete() const {
+  for (const auto& row : placements_) {
+    for (const auto& p : row) {
+      if (!p.placed) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pfair

@@ -1,0 +1,19 @@
+#include "dvq/dvq_scheduler.hpp"
+
+#include <utility>
+
+#include "dvq/dvq_simulator.hpp"
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
+                         const DvqOptions& opts) {
+  const std::int64_t slot_limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  DvqSimulator sim(sys, yields, opts.policy, opts.log_decisions);
+  sim.run_until(Time::slots(slot_limit));
+  return std::move(sim).take_schedule();
+}
+
+}  // namespace pfair

@@ -1,0 +1,34 @@
+// The desynchronized, variable-sized-quantum (DVQ) scheduler — Sec. 3.
+//
+// Event-driven and work-conserving: whenever a subtask completes (possibly
+// mid-slot, after using only c(T_i) < 1 of its quantum), the freed
+// processor is immediately offered to the highest-priority ready subtask;
+// quanta on different processors need not align.  Scheduling decisions
+// therefore happen at arbitrary (tick-exact) instants, and a decision made
+// just before an integral eligibility time can hand a processor to
+// lower-priority work — exactly the eligibility/predecessor blocking the
+// paper analyzes.  Theorem 3: with PD2 priorities the resulting tardiness
+// is below one quantum for every feasible GIS system.
+#pragma once
+
+#include "dvq/dvq_schedule.hpp"
+#include "dvq/yield.hpp"
+#include "sched/priority.hpp"
+
+namespace pfair {
+
+struct DvqOptions {
+  Policy policy = Policy::kPd2;
+  /// Record per-instant decision logs (needed by the blocking analysis;
+  /// costs memory on big runs).
+  bool log_decisions = false;
+  /// Hard stop, in slots (0 = automatic, as for the SFQ scheduler).
+  std::int64_t horizon_limit = 0;
+};
+
+/// Runs the DVQ scheduler with actual execution costs drawn from `yields`.
+[[nodiscard]] DvqSchedule schedule_dvq(const TaskSystem& sys,
+                                       const YieldModel& yields,
+                                       const DvqOptions& opts = {});
+
+}  // namespace pfair

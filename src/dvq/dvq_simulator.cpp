@@ -1,0 +1,125 @@
+#include "dvq/dvq_simulator.hpp"
+
+#include <algorithm>
+
+namespace pfair {
+
+DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
+                           Policy policy, bool log_decisions)
+    : sys_(&sys),
+      yields_(&yields),
+      order_(sys, policy),
+      log_decisions_(log_decisions),
+      sched_(sys),
+      procs_(static_cast<std::size_t>(sys.processors())),
+      head_(static_cast<std::size_t>(sys.num_tasks()), 0),
+      ready_at_(static_cast<std::size_t>(sys.num_tasks())),
+      remaining_(sys.total_subtasks()) {
+  for (std::size_t k = 0; k < head_.size(); ++k) {
+    const Task& task = sys.task(static_cast<std::int64_t>(k));
+    if (task.num_subtasks() > 0) {
+      ready_at_[k] = Time::slots(task.subtask(0).eligible);
+      events_.push(ready_at_[k]);
+    }
+  }
+}
+
+std::vector<SubtaskRef> DvqSimulator::step() {
+  std::vector<SubtaskRef> started;
+  if (events_.empty()) return started;
+  const Time t = events_.top();
+  while (!events_.empty() && events_.top() == t) events_.pop();
+  now_ = t;
+
+  // 1. Retire completions at t; newly-ready successors join this batch.
+  for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+    Proc& pr = procs_[pi];
+    if (pr.busy && pr.busy_until <= t) {
+      PFAIR_ASSERT(pr.busy_until == t);
+      pr.busy = false;
+      const auto k = static_cast<std::size_t>(pr.running.task);
+      const Task& task = sys_->task(pr.running.task);
+      const std::int64_t next = pr.running.seq + 1;
+      if (next < task.num_subtasks()) {
+        const Time elig = Time::slots(task.subtask(next).eligible);
+        ready_at_[k] = std::max(elig, t);
+        if (ready_at_[k] > t) events_.push(ready_at_[k]);
+      }
+    }
+  }
+
+  // 2. Free processors and ready subtasks.
+  std::vector<int> free_procs = idle_processors();
+  if (free_procs.empty()) return started;
+  std::vector<SubtaskRef> ready;
+  for (std::size_t k = 0; k < head_.size(); ++k) {
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    if (head_[k] >= task.num_subtasks()) continue;
+    if (ready_at_[k] > t) continue;
+    ready.push_back(SubtaskRef{static_cast<std::int32_t>(k),
+                               static_cast<std::int32_t>(head_[k])});
+  }
+  if (ready.empty()) return started;
+
+  // 3. Assign in priority order, immediately (work-conserving).
+  const auto m = std::min(free_procs.size(), ready.size());
+  std::partial_sort(ready.begin(),
+                    ready.begin() + static_cast<std::ptrdiff_t>(m),
+                    ready.end(),
+                    [this](const SubtaskRef& a, const SubtaskRef& b) {
+                      return order_.higher(a, b);
+                    });
+  DvqDecision dec;
+  if (log_decisions_) {
+    dec.at = t;
+    dec.free_procs = free_procs;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    const SubtaskRef ref = ready[r];
+    const Time c = yields_->checked_cost(*sys_, ref);
+    const int proc = free_procs[r];
+    sched_.place(ref, t, c, proc);
+    Proc& pr = procs_[static_cast<std::size_t>(proc)];
+    pr.busy = true;
+    pr.busy_until = t + c;
+    pr.running = ref;
+    events_.push(pr.busy_until);
+    const auto k = static_cast<std::size_t>(ref.task);
+    ++head_[k];
+    --remaining_;
+    // Advance readiness immediately: the next subtask cannot run before
+    // this one completes (recomputed identically at the completion
+    // event).
+    const Task& task_k = sys_->task(ref.task);
+    if (head_[k] < task_k.num_subtasks()) {
+      ready_at_[k] = std::max(
+          Time::slots(task_k.subtask(head_[k]).eligible), pr.busy_until);
+    }
+    started.push_back(ref);
+    if (log_decisions_) dec.started.push_back(ref);
+  }
+  if (log_decisions_) {
+    for (std::size_t r = m; r < ready.size(); ++r) {
+      dec.left_ready.push_back(ready[r]);
+    }
+    sched_.log_decision(std::move(dec));
+  }
+  return started;
+}
+
+void DvqSimulator::run_until(Time time_limit) {
+  while (remaining_ > 0 && !events_.empty() &&
+         events_.top() < time_limit) {
+    step();
+  }
+}
+
+std::vector<int> DvqSimulator::idle_processors() const {
+  std::vector<int> out;
+  for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+    if (!procs_[pi].busy) out.push_back(static_cast<int>(pi));
+  }
+  return out;
+}
+
+}  // namespace pfair

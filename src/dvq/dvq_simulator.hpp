@@ -1,0 +1,70 @@
+// Stepwise DVQ simulation — the event-granularity counterpart of
+// SfqSimulator.  One `step()` processes the next event instant: it
+// retires completions, computes the new ready set, and hands every free
+// processor to the highest-priority ready subtask (work-conserving,
+// Sec. 3).  `schedule_dvq` is implemented on top of this class, keeping
+// the batch and incremental paths behaviourally identical.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "dvq/dvq_schedule.hpp"
+#include "dvq/yield.hpp"
+#include "sched/priority.hpp"
+
+namespace pfair {
+
+struct DvqOptions;  // dvq/dvq_scheduler.hpp
+
+/// Incremental event-driven DVQ scheduler.  The task system and yield
+/// model must outlive the simulator.
+class DvqSimulator {
+ public:
+  DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
+               Policy policy = Policy::kPd2, bool log_decisions = false);
+
+  /// True once every subtask has been placed (no events can remain that
+  /// would place more work).
+  [[nodiscard]] bool done() const { return remaining_ == 0; }
+  /// The instant of the most recently processed event (Time() initially).
+  [[nodiscard]] Time now() const { return now_; }
+  /// Whether any event is pending (false also implies nothing more can
+  /// be scheduled — on a complete run, after done()).
+  [[nodiscard]] bool has_events() const { return !events_.empty(); }
+
+  /// Processes the next event instant; returns the subtasks started
+  /// there (possibly none — e.g. a completion with nothing ready).
+  std::vector<SubtaskRef> step();
+
+  /// Runs until done() or the event queue drains or `time_limit` is
+  /// reached (events at or beyond the limit are not processed).
+  void run_until(Time time_limit);
+
+  /// Processors currently idle (valid between steps).
+  [[nodiscard]] std::vector<int> idle_processors() const;
+
+  [[nodiscard]] const DvqSchedule& schedule() const { return sched_; }
+  [[nodiscard]] DvqSchedule take_schedule() && { return std::move(sched_); }
+
+ private:
+  const TaskSystem* sys_;
+  const YieldModel* yields_;
+  PriorityOrder order_;
+  bool log_decisions_;
+  DvqSchedule sched_;
+
+  struct Proc {
+    bool busy = false;
+    Time busy_until;
+    SubtaskRef running;
+  };
+  std::vector<Proc> procs_;
+  std::vector<std::int64_t> head_;
+  std::vector<Time> ready_at_;
+  std::priority_queue<Time, std::vector<Time>, std::greater<Time>> events_;
+  Time now_;
+  std::int64_t remaining_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,44 @@
+#include "dvq/yield.hpp"
+
+namespace pfair {
+
+BernoulliYield::BernoulliYield(std::uint64_t seed, std::int64_t num,
+                               std::int64_t den, Time min_cost, Time max_cost)
+    : seed_(seed), num_(num), den_(den), min_cost_(min_cost),
+      max_cost_(max_cost) {
+  PFAIR_REQUIRE(den > 0 && num >= 0 && num <= den,
+                "early-yield probability " << num << "/" << den);
+  PFAIR_REQUIRE(min_cost > Time() && min_cost <= max_cost &&
+                    max_cost <= kQuantum,
+                "cost range must satisfy 0 < min <= max <= 1");
+}
+
+Time BernoulliYield::cost(const TaskSystem&, const SubtaskRef& ref) const {
+  // Hash the subtask identity into an independent stream so the cost is a
+  // pure function of (seed, subtask) — identical across paired SFQ /
+  // staggered / DVQ runs regardless of scheduling order.
+  std::uint64_t h = seed_;
+  h ^= splitmix64(h) + static_cast<std::uint64_t>(ref.task) *
+                           std::uint64_t{0x9e3779b97f4a7c15};
+  h ^= splitmix64(h) + static_cast<std::uint64_t>(ref.seq) *
+                           std::uint64_t{0xc2b2ae3d27d4eb4f};
+  Rng rng(splitmix64(h));
+  if (!rng.chance(num_, den_)) return kQuantum;
+  const std::int64_t lo = min_cost_.raw_ticks();
+  const std::int64_t hi = max_cost_.raw_ticks();
+  return Time::ticks(rng.uniform(lo, hi));
+}
+
+ScriptedYield& ScriptedYield::set(const SubtaskRef& ref, Time cost) {
+  PFAIR_REQUIRE(cost > Time() && cost <= kQuantum,
+                "scripted cost must lie in (0,1]");
+  costs_[ref] = cost;
+  return *this;
+}
+
+Time ScriptedYield::cost(const TaskSystem&, const SubtaskRef& ref) const {
+  const auto it = costs_.find(ref);
+  return it == costs_.end() ? kQuantum : it->second;
+}
+
+}  // namespace pfair

@@ -1,0 +1,126 @@
+// Yield models: how much of its quantum a subtask actually uses.
+//
+// Under the SFQ model a subtask that finishes early wastes the rest of its
+// quantum; under the DVQ model the processor is handed over immediately
+// (Sec. 1, Sec. 3).  A YieldModel supplies the *actual execution cost*
+// c(T_i) in (0, 1] of each subtask, exactly representable in ticks.  The
+// same model instance can be replayed against SFQ, staggered and DVQ runs
+// for paired comparisons (costs are drawn deterministically from the
+// subtask identity, not from call order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Supplies c(T_i) for every subtask.  Implementations must be pure
+/// functions of (seed, subtask identity) so paired experiments see
+/// identical costs.
+class YieldModel {
+ public:
+  virtual ~YieldModel() = default;
+
+  /// Actual execution cost of `ref`; must lie in (0, 1] slots.
+  [[nodiscard]] virtual Time cost(const TaskSystem& sys,
+                                  const SubtaskRef& ref) const = 0;
+
+  /// Checked wrapper around cost().
+  [[nodiscard]] Time checked_cost(const TaskSystem& sys,
+                                  const SubtaskRef& ref) const {
+    const Time c = cost(sys, ref);
+    PFAIR_ASSERT_MSG(c > Time() && c <= kQuantum,
+                     "yield model produced cost " << c << " outside (0,1]");
+    return c;
+  }
+};
+
+/// Every subtask uses its whole quantum — DVQ degenerates to SFQ.
+class FullQuantumYield final : public YieldModel {
+ public:
+  [[nodiscard]] Time cost(const TaskSystem&, const SubtaskRef&) const override {
+    return kQuantum;
+  }
+};
+
+/// Every subtask yields `delta` before the end of its quantum
+/// (c = 1 - delta).  delta = kTick realizes the paper's "delta -> 0" limit.
+class FixedYield final : public YieldModel {
+ public:
+  explicit FixedYield(Time delta) : delta_(delta) {
+    PFAIR_REQUIRE(delta >= Time() && delta < kQuantum,
+                  "delta must lie in [0, 1)");
+  }
+  [[nodiscard]] Time cost(const TaskSystem&, const SubtaskRef&) const override {
+    return kQuantum - delta_;
+  }
+
+ private:
+  Time delta_;
+};
+
+/// With probability `num/den` a subtask finishes early, with a cost drawn
+/// uniformly from [min_cost, max_cost] ticks; otherwise it uses the whole
+/// quantum.  Models pessimistic WCETs (Sec. 1, second bullet).
+class BernoulliYield final : public YieldModel {
+ public:
+  BernoulliYield(std::uint64_t seed, std::int64_t num, std::int64_t den,
+                 Time min_cost, Time max_cost);
+
+  [[nodiscard]] Time cost(const TaskSystem& sys,
+                          const SubtaskRef& ref) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t num_, den_;
+  Time min_cost_, max_cost_;
+};
+
+/// The paper's stated future work (Sec. 4): task execution costs that are
+/// NOT integral multiples of the quantum.  A job of cost (e-1) + f quanta
+/// (0 < f <= 1) is modeled as e subtasks whose last one deterministically
+/// uses only the fraction f of its quantum.  Under SFQ the remainder is
+/// wasted every period; under DVQ it is reclaimed — `bench_fractional`
+/// measures the impact on tardiness and makespan.
+class FractionalTailYield final : public YieldModel {
+ public:
+  /// `tail` = the fractional cost of each job's final subtask.
+  explicit FractionalTailYield(Time tail) : tail_(tail) {
+    PFAIR_REQUIRE(tail > Time() && tail <= kQuantum,
+                  "tail cost must lie in (0,1]");
+  }
+
+  [[nodiscard]] Time cost(const TaskSystem& sys,
+                          const SubtaskRef& ref) const override {
+    const Task& task = sys.task(ref.task);
+    // Last subtask of its job: index i with i mod e == 0.
+    const std::int64_t i = task.subtask(ref.seq).index;
+    return i % task.weight().e == 0 ? tail_ : kQuantum;
+  }
+
+ private:
+  Time tail_;
+};
+
+/// Explicit per-subtask costs (used to script the paper's figures);
+/// unlisted subtasks use the full quantum.
+class ScriptedYield final : public YieldModel {
+ public:
+  ScriptedYield() = default;
+
+  /// Sets c for one subtask; chainable.
+  ScriptedYield& set(const SubtaskRef& ref, Time cost);
+
+  [[nodiscard]] Time cost(const TaskSystem& sys,
+                          const SubtaskRef& ref) const override;
+
+ private:
+  std::map<SubtaskRef, Time> costs_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,74 @@
+#include "edf/global_edf.hpp"
+
+#include <algorithm>
+
+namespace pfair {
+
+namespace {
+
+std::int64_t jobs_horizon(const std::vector<Job>& jobs) {
+  std::int64_t m = 0;
+  for (const Job& j : jobs) m = std::max(m, j.deadline);
+  return m;
+}
+
+JobScheduleResult finish(const TaskSystem&, const std::vector<Job>& jobs,
+                         const std::vector<std::int64_t>& left,
+                         std::vector<std::int64_t> completion,
+                         std::int64_t horizon) {
+  JobScheduleResult res;
+  res.total_jobs = static_cast<std::int64_t>(jobs.size());
+  res.completion = std::move(completion);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::int64_t tard;
+    if (left[i] > 0) {
+      tard = horizon - jobs[i].deadline;  // still unfinished at the end
+      res.completion[i] = -1;
+    } else {
+      tard = std::max<std::int64_t>(0, res.completion[i] - jobs[i].deadline);
+    }
+    if (tard > 0) ++res.missed_jobs;
+    res.max_tardiness = std::max(res.max_tardiness, tard);
+  }
+  return res;
+}
+
+}  // namespace
+
+JobScheduleResult run_global_edf(const TaskSystem& sys,
+                                 const GlobalEdfOptions& opts) {
+  std::int64_t horizon = opts.horizon;
+  std::vector<Job> jobs = expand_jobs(
+      sys, horizon > 0 ? horizon : sys.max_deadline());
+  if (horizon == 0) horizon = jobs_horizon(jobs) + sys.num_tasks() + 4;
+
+  std::vector<std::int64_t> left(jobs.size());
+  std::vector<std::int64_t> completion(jobs.size(), -1);
+  for (std::size_t i = 0; i < jobs.size(); ++i) left[i] = jobs[i].exec;
+
+  std::vector<std::size_t> pending;  // indices of released, unfinished jobs
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    pending.clear();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (left[i] > 0 && jobs[i].release <= t) pending.push_back(i);
+    }
+    if (pending.empty()) continue;
+    const auto m = std::min<std::size_t>(
+        static_cast<std::size_t>(sys.processors()), pending.size());
+    std::partial_sort(pending.begin(),
+                      pending.begin() + static_cast<std::ptrdiff_t>(m),
+                      pending.end(), [&jobs](std::size_t a, std::size_t b) {
+                        if (jobs[a].deadline != jobs[b].deadline) {
+                          return jobs[a].deadline < jobs[b].deadline;
+                        }
+                        return a < b;
+                      });
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t i = pending[r];
+      if (--left[i] == 0) completion[i] = t + 1;
+    }
+  }
+  return finish(sys, jobs, left, std::move(completion), horizon);
+}
+
+}  // namespace pfair

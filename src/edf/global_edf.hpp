@@ -1,0 +1,24 @@
+// Preemptive global EDF on the quantum substrate.
+//
+// At every slot boundary, the M pending jobs with the earliest absolute
+// deadlines receive the slot (a job may execute on at most one processor
+// per slot; migration between slots is free).  Optimal on one processor,
+// but subject to the Dhall effect on multiprocessors: schedulable
+// utilization can drop toward 1 regardless of M.
+#pragma once
+
+#include "edf/jobs.hpp"
+
+namespace pfair {
+
+struct GlobalEdfOptions {
+  /// Slots to simulate; 0 = one hyperperiod-ish default (max deadline of
+  /// the expanded jobs plus slack).
+  std::int64_t horizon = 0;
+};
+
+/// Runs global EDF over the jobs of `sys` released in [0, horizon).
+[[nodiscard]] JobScheduleResult run_global_edf(const TaskSystem& sys,
+                                               const GlobalEdfOptions& opts = {});
+
+}  // namespace pfair

@@ -1,0 +1,32 @@
+#include "edf/jobs.hpp"
+
+namespace pfair {
+
+std::vector<Job> expand_jobs(const TaskSystem& sys, std::int64_t horizon) {
+  PFAIR_REQUIRE(horizon >= 0, "horizon must be >= 0");
+  std::vector<Job> jobs;
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    PFAIR_REQUIRE(task.kind() == TaskKind::kPeriodic ||
+                      task.kind() == TaskKind::kSporadic,
+                  "job expansion requires (phased) periodic tasks; task "
+                      << task.name() << " is " << to_string(task.kind()));
+    const Weight& w = task.weight();
+    const std::int64_t phase =
+        task.num_subtasks() > 0 ? task.subtask(0).theta : 0;
+    for (std::int64_t j = 1;; ++j) {
+      const std::int64_t release = phase + (j - 1) * w.p;
+      if (release >= horizon) break;
+      Job job;
+      job.task = static_cast<std::int32_t>(k);
+      job.number = j;
+      job.release = release;
+      job.deadline = release + w.p;
+      job.exec = w.e;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace pfair

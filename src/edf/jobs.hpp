@@ -1,0 +1,47 @@
+// Job-level view of periodic tasks, for the non-Pfair baselines.
+//
+// The paper's introduction motivates Pfair by the utilization gap: EDF-
+// style approaches can only guarantee task sets with total utilization
+// around M/2 in the worst case [13, 5, 4], while Pfair schedules anything
+// up to M.  These baselines run on the same quantum substrate (integer
+// execution costs, slot-granularity allocation) so the comparison isolates
+// the scheduling policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// One job (task invocation) with an integral execution requirement.
+struct Job {
+  std::int32_t task = -1;
+  std::int64_t number = 0;    ///< 1-based job index
+  std::int64_t release = 0;   ///< slot of release
+  std::int64_t deadline = 0;  ///< absolute (implicit: release + period)
+  std::int64_t exec = 0;      ///< quanta required
+};
+
+/// Expands every task of `sys` into its jobs with releases < horizon.
+/// Requires periodic or sporadic (phased) tasks — job boundaries are not
+/// meaningful for arbitrary GIS subtask sequences.
+[[nodiscard]] std::vector<Job> expand_jobs(const TaskSystem& sys,
+                                           std::int64_t horizon);
+
+/// Result of a job-level scheduling run.
+struct JobScheduleResult {
+  /// Completion slot boundary of each job (index-parallel with the job
+  /// vector); -1 if not finished within the simulated horizon.
+  std::vector<std::int64_t> completion;
+  /// max(0, completion - deadline) over finished jobs; unfinished jobs
+  /// count as missing by (horizon - deadline).
+  std::int64_t max_tardiness = 0;
+  std::int64_t missed_jobs = 0;
+  std::int64_t total_jobs = 0;
+
+  [[nodiscard]] bool all_met() const { return missed_jobs == 0; }
+};
+
+}  // namespace pfair

@@ -1,0 +1,45 @@
+#include "edf/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rational.hpp"
+
+namespace pfair {
+
+std::optional<std::vector<int>> first_fit_decreasing(const TaskSystem& sys) {
+  const auto n = static_cast<std::size_t>(sys.num_tasks());
+  const auto m = static_cast<std::size_t>(sys.processors());
+
+  std::vector<std::size_t> by_weight(n);
+  std::iota(by_weight.begin(), by_weight.end(), std::size_t{0});
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&sys](std::size_t a, std::size_t b) {
+              const Rational wa =
+                  sys.task(static_cast<std::int64_t>(a)).weight().value();
+              const Rational wb =
+                  sys.task(static_cast<std::int64_t>(b)).weight().value();
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+
+  std::vector<Rational> load(m);
+  std::vector<int> assignment(n, -1);
+  for (const std::size_t k : by_weight) {
+    const Rational w =
+        sys.task(static_cast<std::int64_t>(k)).weight().value();
+    bool placed = false;
+    for (std::size_t pi = 0; pi < m; ++pi) {
+      if (load[pi] + w <= Rational(1)) {
+        load[pi] += w;
+        assignment[k] = static_cast<int>(pi);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return assignment;
+}
+
+}  // namespace pfair

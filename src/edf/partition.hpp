@@ -1,0 +1,19 @@
+// First-fit-decreasing bin packing of tasks onto processors — shared by
+// the partitioned baselines (partitioned EDF, partitioned Pfair).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Assigns each task a processor by first-fit decreasing utilization,
+/// never loading a processor past 1.  Returns std::nullopt when some
+/// task does not fit (the bin-packing failure the intro's utilization
+/// gap comes from).
+[[nodiscard]] std::optional<std::vector<int>> first_fit_decreasing(
+    const TaskSystem& sys);
+
+}  // namespace pfair

@@ -1,0 +1,33 @@
+// Partitioned EDF: first-fit-decreasing task assignment + per-processor
+// uniprocessor EDF.
+//
+// Tasks are statically bound to processors (no migration), so the binding
+// step is a bin-packing problem; first-fit decreasing by utilization is
+// the standard heuristic.  Worst-case guaranteed utilization is about
+// (M+1)/2 [13] — the other side of the gap Pfair closes.
+#pragma once
+
+#include <vector>
+
+#include "edf/jobs.hpp"
+
+namespace pfair {
+
+struct PartitionedEdfOptions {
+  std::int64_t horizon = 0;  ///< 0 = automatic (as global EDF)
+};
+
+struct PartitionedEdfResult {
+  /// False if first-fit-decreasing could not place every task (a task's
+  /// weight did not fit on any processor); `schedule` is then empty.
+  bool partitioned = false;
+  std::vector<int> assignment;  ///< processor per task (when partitioned)
+  JobScheduleResult schedule;
+};
+
+/// Partitions and runs per-processor EDF.  Uniprocessor EDF is optimal, so
+/// when every processor's assigned utilization is <= 1 no job misses.
+[[nodiscard]] PartitionedEdfResult run_partitioned_edf(
+    const TaskSystem& sys, const PartitionedEdfOptions& opts = {});
+
+}  // namespace pfair

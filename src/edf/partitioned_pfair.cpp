@@ -1,0 +1,36 @@
+#include "edf/partitioned_pfair.hpp"
+
+#include "analysis/tardiness.hpp"
+#include "edf/partition.hpp"
+
+namespace pfair {
+
+PartitionedPfairResult run_partitioned_pfair(const TaskSystem& sys,
+                                             Policy policy) {
+  PartitionedPfairResult res;
+  std::optional<std::vector<int>> assignment = first_fit_decreasing(sys);
+  if (!assignment.has_value()) return res;
+  res.assignment = std::move(*assignment);
+  res.partitioned = true;
+
+  res.all_met = true;
+  for (int pi = 0; pi < sys.processors(); ++pi) {
+    std::vector<Task> local;
+    for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+      if (res.assignment[static_cast<std::size_t>(k)] == pi) {
+        local.push_back(sys.task(k));
+      }
+    }
+    TaskSystem one(std::move(local), 1);
+    SfqOptions opts;
+    opts.policy = policy;
+    SlotSchedule sched = schedule_sfq(one, opts);
+    const TardinessSummary sum = measure_tardiness(one, sched);
+    if (!sum.none_late()) res.all_met = false;
+    res.per_proc_systems.push_back(std::move(one));
+    res.per_proc_schedules.push_back(std::move(sched));
+  }
+  return res;
+}
+
+}  // namespace pfair

@@ -1,0 +1,35 @@
+// Partitioned Pfair: first-fit-decreasing assignment + an independent
+// uniprocessor Pfair (PD2) schedule per processor.
+//
+// A useful middle baseline between partitioned EDF and global Pfair:
+// once a partition exists, every processor is a feasible uniprocessor
+// Pfair instance (utilization <= 1), so all windows are met — the ONLY
+// failure mode is the bin packing itself, which is exactly the
+// utilization gap Pfair's global optimality closes (Sec. 1).
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+struct PartitionedPfairResult {
+  bool partitioned = false;
+  std::vector<int> assignment;  ///< processor per task (when partitioned)
+  /// One single-processor system + schedule per processor, index-aligned
+  /// with processors.  Tasks keep their global order within a processor.
+  std::vector<TaskSystem> per_proc_systems;
+  std::vector<SlotSchedule> per_proc_schedules;
+  bool all_met = false;
+};
+
+/// Partitions and schedules each processor independently with the given
+/// policy (PD2 by default — optimal on one processor, so `all_met` is
+/// true whenever `partitioned` is).
+[[nodiscard]] PartitionedPfairResult run_partitioned_pfair(
+    const TaskSystem& sys, Policy policy = Policy::kPd2);
+
+}  // namespace pfair

@@ -1,0 +1,58 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(std::vector<std::string> cols) {
+  if (!header_.empty()) {
+    PFAIR_REQUIRE(cols.size() == header_.size(),
+                  "CSV row width " << cols.size() << " != header width "
+                                   << header_.size());
+  }
+  rows_.push_back(std::move(cols));
+  return *this;
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_escape(cols[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  PFAIR_REQUIRE(f.good(), "cannot open " << path << " for writing");
+  write(f);
+  f.flush();
+  PFAIR_REQUIRE(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace pfair

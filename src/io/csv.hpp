@@ -1,0 +1,30 @@
+// Minimal CSV writing (RFC-4180 quoting) for experiment data exports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pfair {
+
+/// Quotes a field if it contains a comma, quote or newline.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Accumulates rows and writes them to a stream or file.
+class CsvWriter {
+ public:
+  CsvWriter& header(std::vector<std::string> cols);
+  CsvWriter& row(std::vector<std::string> cols);
+
+  void write(std::ostream& os) const;
+  /// Writes to `path`, throwing ContractViolation on I/O failure.
+  void write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,135 @@
+#include "io/export.hpp"
+
+#include <sstream>
+
+#include "analysis/tardiness.hpp"
+
+namespace pfair {
+
+namespace {
+
+/// Trace-event timebase: one slot = 1000 "microseconds".
+constexpr std::int64_t kTraceUsPerSlot = 1000;
+
+std::int64_t to_trace_us(Time t) {
+  return t.raw_ticks() * kTraceUsPerSlot / kTicksPerSlot;
+}
+
+void emit_event(std::ostream& os, bool& first, const std::string& name,
+                int proc, std::int64_t ts_us, std::int64_t dur_us,
+                std::int64_t deadline, std::int64_t tardiness_ticks) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")" << name << R"(", "cat": "subtask", "ph": "X",)"
+     << R"( "pid": 1, "tid": )" << proc << R"(, "ts": )" << ts_us
+     << R"(, "dur": )" << dur_us << R"(, "args": {"deadline": )" << deadline
+     << R"(, "tardiness_ticks": )" << tardiness_ticks << "}}";
+}
+
+}  // namespace
+
+CsvWriter export_task_system(const TaskSystem& sys) {
+  CsvWriter w;
+  w.header({"task", "name", "weight", "index", "theta", "release",
+            "deadline", "eligible", "bbit", "group_deadline"});
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (const Subtask& s : task.subtasks()) {
+      w.row({std::to_string(k), task.name(), task.weight().str(),
+             std::to_string(s.index), std::to_string(s.theta),
+             std::to_string(s.release), std::to_string(s.deadline),
+             std::to_string(s.eligible), s.bbit ? "1" : "0",
+             std::to_string(s.group_deadline)});
+    }
+  }
+  return w;
+}
+
+CsvWriter export_slot_schedule(const TaskSystem& sys,
+                               const SlotSchedule& sched) {
+  CsvWriter w;
+  w.header({"task", "name", "index", "slot", "proc", "deadline",
+            "tardiness_slots"});
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const SlotPlacement& p = sched.placement(ref);
+      if (!p.scheduled()) continue;
+      w.row({std::to_string(k), task.name(),
+             std::to_string(task.subtask(s).index), std::to_string(p.slot),
+             std::to_string(p.proc),
+             std::to_string(task.subtask(s).deadline),
+             std::to_string(subtask_tardiness(sys, sched, ref))});
+    }
+  }
+  return w;
+}
+
+CsvWriter export_dvq_schedule(const TaskSystem& sys,
+                              const DvqSchedule& sched) {
+  CsvWriter w;
+  w.header({"task", "name", "index", "start_ticks", "cost_ticks", "proc",
+            "deadline", "tardiness_ticks"});
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const DvqPlacement& p = sched.placement(ref);
+      if (!p.placed) continue;
+      w.row({std::to_string(k), task.name(),
+             std::to_string(task.subtask(s).index),
+             std::to_string(p.start.raw_ticks()),
+             std::to_string(p.cost.raw_ticks()), std::to_string(p.proc),
+             std::to_string(task.subtask(s).deadline),
+             std::to_string(subtask_tardiness_ticks(sys, sched, ref))});
+    }
+  }
+  return w;
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const DvqSchedule& sched) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const DvqPlacement& p = sched.placement(ref);
+      if (!p.placed) continue;
+      emit_event(os, first,
+                 task.name() + "_" + std::to_string(task.subtask(s).index),
+                 p.proc, to_trace_us(p.start), to_trace_us(p.cost),
+                 task.subtask(s).deadline,
+                 subtask_tardiness_ticks(sys, sched, ref));
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const SlotSchedule& sched) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const SlotPlacement& p = sched.placement(ref);
+      if (!p.scheduled()) continue;
+      emit_event(os, first,
+                 task.name() + "_" + std::to_string(task.subtask(s).index),
+                 p.proc, p.slot * kTraceUsPerSlot, kTraceUsPerSlot,
+                 task.subtask(s).deadline,
+                 subtask_tardiness(sys, sched, ref) * kTicksPerSlot);
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+}  // namespace pfair

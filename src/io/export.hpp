@@ -1,0 +1,33 @@
+// CSV export of schedules and task systems, for offline analysis and
+// plotting (each bench can dump its raw data).
+#pragma once
+
+#include "dvq/dvq_schedule.hpp"
+#include "io/csv.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+/// One row per subtask: task, name, index, window parameters.
+[[nodiscard]] CsvWriter export_task_system(const TaskSystem& sys);
+
+/// One row per placed subtask of a slot schedule:
+/// task,name,index,slot,proc,deadline,tardiness.
+[[nodiscard]] CsvWriter export_slot_schedule(const TaskSystem& sys,
+                                             const SlotSchedule& sched);
+
+/// One row per placed subtask of a DVQ schedule, with exact tick values:
+/// task,name,index,start_ticks,cost_ticks,proc,deadline,tardiness_ticks.
+[[nodiscard]] CsvWriter export_dvq_schedule(const TaskSystem& sys,
+                                            const DvqSchedule& sched);
+
+/// Chrome trace-event JSON ("chrome://tracing" / Perfetto "Open legacy
+/// trace"): one complete event per placed subtask, processors as
+/// threads, 1 slot = 1000 trace microseconds.  Works for both schedule
+/// kinds (slot schedules occupy whole quanta).
+[[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
+                                              const DvqSchedule& sched);
+[[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
+                                              const SlotSchedule& sched);
+
+}  // namespace pfair

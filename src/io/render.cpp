@@ -1,0 +1,148 @@
+#include "io/render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace pfair {
+
+namespace {
+
+/// Width of the task-name gutter.
+std::size_t name_width(const TaskSystem& sys) {
+  std::size_t w = 4;
+  for (const Task& t : sys.tasks()) w = std::max(w, t.name().size());
+  return w;
+}
+
+std::string ruler(std::size_t gutter, std::int64_t slots) {
+  std::ostringstream os;
+  os << std::string(gutter + 2, ' ');
+  for (std::int64_t t = 0; t < slots; ++t) {
+    os << (t % 5 == 0 ? std::to_string(t % 10) : " ");
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_slot_schedule(const TaskSystem& sys,
+                                 const SlotSchedule& sched,
+                                 const RenderOptions& opts) {
+  const std::int64_t slots =
+      opts.max_slots > 0 ? std::min(opts.max_slots, sched.horizon())
+                         : std::max<std::int64_t>(sched.horizon(), 1);
+  const std::size_t gutter = name_width(sys);
+  std::ostringstream os;
+  os << ruler(gutter, slots) << '\n';
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    std::string row(static_cast<std::size_t>(slots), ' ');
+    if (opts.show_windows) {
+      for (const Subtask& sub : task.subtasks()) {
+        for (std::int64_t t = std::max<std::int64_t>(0, sub.release);
+             t < std::min(slots, sub.deadline); ++t) {
+          char& c = row[static_cast<std::size_t>(t)];
+          if (c == ' ') c = '.';
+        }
+      }
+    }
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.scheduled() || p.slot >= slots) continue;
+      row[static_cast<std::size_t>(p.slot)] =
+          static_cast<char>('0' + p.proc % 10);
+    }
+    os << std::setw(static_cast<int>(gutter)) << task.name() << " |" << row
+       << "|\n";
+  }
+  os << "(digits = executing subtask's processor; '.' = pending window)";
+  return os.str();
+}
+
+std::string render_dvq_schedule(const TaskSystem& sys,
+                                const DvqSchedule& sched,
+                                const RenderOptions& opts) {
+  PFAIR_REQUIRE(opts.chars_per_slot >= 2, "need >= 2 chars per slot");
+  const std::int64_t slots =
+      opts.max_slots > 0
+          ? std::min(opts.max_slots, sched.makespan().slot_ceil())
+          : std::max<std::int64_t>(sched.makespan().slot_ceil(), 1);
+  const auto cps = static_cast<std::int64_t>(opts.chars_per_slot);
+  const std::size_t width = static_cast<std::size_t>(slots * cps);
+
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(sys.processors()),
+      std::string(width, ' '));
+
+  auto to_col = [&](Time t) {
+    // Round to nearest character cell; exact for ticks that are multiples
+    // of 1/cps of a slot.
+    const std::int64_t tk = t.raw_ticks();
+    return std::min<std::int64_t>(
+        static_cast<std::int64_t>(width),
+        (tk * cps + kTicksPerSlot / 2) / kTicksPerSlot);
+  };
+
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const DvqPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.placed) continue;
+      const std::int64_t c0 = to_col(p.start);
+      const std::int64_t c1 = std::max(to_col(p.completion()), c0 + 1);
+      if (c0 >= static_cast<std::int64_t>(width)) continue;
+      std::string& row = rows[static_cast<std::size_t>(p.proc)];
+      const std::string label =
+          task.name() + std::to_string(task.subtask(s).index);
+      for (std::int64_t c = c0;
+           c < std::min<std::int64_t>(c1, static_cast<std::int64_t>(width));
+           ++c) {
+        const auto li = static_cast<std::size_t>(c - c0);
+        row[static_cast<std::size_t>(c)] =
+            li < label.size() ? label[li] : '=';
+      }
+      // Mark an early yield (completion before the next boundary).
+      if (c1 - 1 < static_cast<std::int64_t>(width) && c1 > c0) {
+        if (!p.completion().is_slot_boundary()) {
+          row[static_cast<std::size_t>(c1 - 1)] = ')';
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "      ";
+  for (std::int64_t t = 0; t <= slots; ++t) {
+    const std::string tick = std::to_string(t);
+    os << tick;
+    if (t < slots) {
+      os << std::string(static_cast<std::size_t>(std::max<std::int64_t>(
+                            0, cps - static_cast<std::int64_t>(tick.size()))),
+                        ' ');
+    }
+  }
+  os << '\n';
+  for (std::size_t pi = 0; pi < rows.size(); ++pi) {
+    os << "P" << pi << "   |" << rows[pi] << "|\n";
+  }
+  os << "(')' = early yield before the slot boundary)";
+  return os.str();
+}
+
+std::string describe_subtasks(const TaskSystem& sys) {
+  std::ostringstream os;
+  os << "task      i  theta      r      d  e      b  grpD\n";
+  for (const Task& task : sys.tasks()) {
+    for (const Subtask& s : task.subtasks()) {
+      os << std::left << std::setw(8) << task.name() << std::right
+         << std::setw(3) << s.index << std::setw(7) << s.theta
+         << std::setw(7) << s.release << std::setw(7) << s.deadline
+         << std::setw(3) << s.eligible << std::setw(7) << (s.bbit ? 1 : 0)
+         << std::setw(6) << s.group_deadline << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pfair

@@ -1,0 +1,38 @@
+// ASCII rendering of schedules — the library's analogue of the paper's
+// figures.  Slot schedules render as a task x slot grid; DVQ schedules as
+// per-processor timelines with sub-slot resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dvq/dvq_schedule.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+struct RenderOptions {
+  /// Show each subtask's PF-window as dots between release and deadline.
+  bool show_windows = true;
+  /// Characters per slot in DVQ timelines (sub-slot resolution).
+  int chars_per_slot = 6;
+  /// Clip rendering to this many slots (0 = schedule horizon).
+  std::int64_t max_slots = 0;
+};
+
+/// Task-per-row grid: 'X' where a subtask executes, '.' inside a pending
+/// window, ' ' elsewhere; one column per slot, ruler on top.
+[[nodiscard]] std::string render_slot_schedule(const TaskSystem& sys,
+                                               const SlotSchedule& sched,
+                                               const RenderOptions& opts = {});
+
+/// Processor-per-row timelines: each placement drawn as a labelled segment
+/// [Xi....), with sub-slot precision rounded to chars_per_slot.
+[[nodiscard]] std::string render_dvq_schedule(const TaskSystem& sys,
+                                              const DvqSchedule& sched,
+                                              const RenderOptions& opts = {});
+
+/// One line per subtask: windows, placement, tardiness.
+[[nodiscard]] std::string describe_subtasks(const TaskSystem& sys);
+
+}  // namespace pfair

@@ -1,0 +1,152 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/tardiness.hpp"
+
+namespace pfair {
+
+namespace {
+
+/// Muted categorical palette (cycled per task).
+const char* const kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#b07aa1",
+                                "#76b7b2", "#edc948", "#9c755f", "#bab0ac"};
+constexpr int kPaletteSize = 8;
+constexpr int kGutter = 72;   // left label gutter
+constexpr int kTopRuler = 22;
+
+const char* color_of(std::int32_t task) {
+  return kPalette[static_cast<std::size_t>(task % kPaletteSize)];
+}
+
+void svg_header(std::ostringstream& os, int width, int height) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\" font-family=\"sans-serif\" font-size=\"11\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+void ruler(std::ostringstream& os, std::int64_t slots, int slot_w,
+           int height) {
+  for (std::int64_t t = 0; t <= slots; ++t) {
+    const int x = kGutter + static_cast<int>(t) * slot_w;
+    os << "<line x1=\"" << x << "\" y1=\"" << kTopRuler << "\" x2=\"" << x
+       << "\" y2=\"" << height << "\" stroke=\"#ddd\"/>\n";
+    os << "<text x=\"" << x << "\" y=\"" << kTopRuler - 8
+       << "\" text-anchor=\"middle\" fill=\"#666\">" << t << "</text>\n";
+  }
+}
+
+void label(std::ostringstream& os, const std::string& name, int y,
+           int row_h) {
+  os << "<text x=\"" << kGutter - 8 << "\" y=\"" << y + row_h / 2 + 4
+     << "\" text-anchor=\"end\">" << name << "</text>\n";
+}
+
+void box(std::ostringstream& os, double x0, double x1, int y, int row_h,
+         const char* fill, bool tardy, const std::string& text) {
+  os << "<rect x=\"" << x0 << "\" y=\"" << y + 3 << "\" width=\""
+     << std::max(1.0, x1 - x0) << "\" height=\"" << row_h - 6
+     << "\" fill=\"" << fill << "\" stroke=\""
+     << (tardy ? "#d62728" : "#333") << "\" stroke-width=\""
+     << (tardy ? 2 : 1) << "\" rx=\"2\"/>\n";
+  if (!text.empty()) {
+    os << "<text x=\"" << (x0 + x1) / 2 << "\" y=\"" << y + row_h / 2 + 4
+       << "\" text-anchor=\"middle\" fill=\"white\">" << text
+       << "</text>\n";
+  }
+}
+
+}  // namespace
+
+std::string render_slot_schedule_svg(const TaskSystem& sys,
+                                     const SlotSchedule& sched,
+                                     const SvgOptions& opts) {
+  const std::int64_t slots =
+      opts.max_slots > 0 ? std::min(opts.max_slots, sched.horizon())
+                         : std::max<std::int64_t>(sched.horizon(), 1);
+  const int width =
+      kGutter + static_cast<int>(slots) * opts.slot_width_px + 12;
+  const int height = kTopRuler +
+                     static_cast<int>(sys.num_tasks()) * opts.row_height_px +
+                     10;
+  std::ostringstream os;
+  svg_header(os, width, height);
+  ruler(os, slots, opts.slot_width_px, height - 10);
+
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    const int y = kTopRuler + k * opts.row_height_px;
+    label(os, task.name(), y, opts.row_height_px);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const Subtask& sub = task.subtask(s);
+      if (opts.show_windows && sub.release < slots) {
+        const int x0 = kGutter + static_cast<int>(sub.release) *
+                                     opts.slot_width_px;
+        const int x1 = kGutter + static_cast<int>(std::min(
+                                     sub.deadline, slots)) *
+                                     opts.slot_width_px;
+        os << "<line x1=\"" << x0 << "\" y1=\"" << y + opts.row_height_px - 3
+           << "\" x2=\"" << x1 << "\" y2=\"" << y + opts.row_height_px - 3
+           << "\" stroke=\"" << color_of(k) << "\" stroke-dasharray=\"3 2\""
+           << " opacity=\"0.6\"/>\n";
+      }
+      const SlotPlacement& p = sched.placement(ref);
+      if (!p.scheduled() || p.slot >= slots) continue;
+      const double x0 =
+          kGutter + static_cast<double>(p.slot) * opts.slot_width_px;
+      box(os, x0, x0 + opts.slot_width_px, y, opts.row_height_px,
+          color_of(k), subtask_tardiness(sys, sched, ref) > 0,
+          std::to_string(sub.index));
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string render_dvq_schedule_svg(const TaskSystem& sys,
+                                    const DvqSchedule& sched,
+                                    const SvgOptions& opts) {
+  const std::int64_t slots =
+      opts.max_slots > 0
+          ? std::min(opts.max_slots, sched.makespan().slot_ceil())
+          : std::max<std::int64_t>(sched.makespan().slot_ceil(), 1);
+  const int width =
+      kGutter + static_cast<int>(slots) * opts.slot_width_px + 12;
+  const int height = kTopRuler +
+                     sys.processors() * opts.row_height_px + 10;
+  std::ostringstream os;
+  svg_header(os, width, height);
+  ruler(os, slots, opts.slot_width_px, height - 10);
+
+  for (int pi = 0; pi < sys.processors(); ++pi) {
+    label(os, "P" + std::to_string(pi),
+          kTopRuler + pi * opts.row_height_px, opts.row_height_px);
+  }
+  const double px_per_tick =
+      static_cast<double>(opts.slot_width_px) /
+      static_cast<double>(kTicksPerSlot);
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const DvqPlacement& p = sched.placement(ref);
+      if (!p.placed || p.start.slot_floor() >= slots) continue;
+      const int y = kTopRuler + p.proc * opts.row_height_px;
+      const double x0 =
+          kGutter + static_cast<double>(p.start.raw_ticks()) * px_per_tick;
+      const double x1 = kGutter + static_cast<double>(
+                                      p.completion().raw_ticks()) *
+                                      px_per_tick;
+      box(os, x0, x1, y, opts.row_height_px, color_of(k),
+          subtask_tardiness_ticks(sys, sched, ref) > 0,
+          task.name() + std::to_string(task.subtask(s).index));
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace pfair

@@ -1,0 +1,34 @@
+// SVG rendering of schedules — publication-style figures (the graphical
+// counterpart of io/render's ASCII output).
+//
+// Slot schedules draw as the paper's figures do: one row per task, a box
+// per executed quantum, window brackets from release to deadline.  DVQ
+// schedules draw one lane per processor with exact sub-slot geometry and
+// red boxes on tardy subtasks.  Output is self-contained SVG 1.1.
+#pragma once
+
+#include <string>
+
+#include "dvq/dvq_schedule.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+struct SvgOptions {
+  int slot_width_px = 48;   ///< horizontal pixels per slot
+  int row_height_px = 26;   ///< vertical pixels per task/processor lane
+  bool show_windows = true; ///< draw [r, d) brackets on slot schedules
+  std::int64_t max_slots = 0;  ///< clip (0 = schedule horizon)
+};
+
+/// Task-per-row figure of a slot schedule.
+[[nodiscard]] std::string render_slot_schedule_svg(
+    const TaskSystem& sys, const SlotSchedule& sched,
+    const SvgOptions& opts = {});
+
+/// Processor-per-lane figure of a DVQ/staggered schedule.
+[[nodiscard]] std::string render_dvq_schedule_svg(
+    const TaskSystem& sys, const DvqSchedule& sched,
+    const SvgOptions& opts = {});
+
+}  // namespace pfair

@@ -1,0 +1,71 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+TextTable& TextTable::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cols) {
+  if (!header_.empty()) {
+    PFAIR_REQUIRE(cols.size() == header_.size(),
+                  "row has " << cols.size() << " cells, header has "
+                             << header_.size());
+  }
+  rows_.push_back(std::move(cols));
+  return *this;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cols) {
+    if (width.size() < cols.size()) width.resize(cols.size(), 0);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      width[i] = std::max(width[i], cols[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      os << std::setw(static_cast<int>(width[i])) << cols[i];
+      if (i + 1 < cols.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      total += width[i] + (i + 1 < width.size() ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string cell(std::int64_t v) { return std::to_string(v); }
+
+std::string cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string cell_ratio(std::int64_t num, std::int64_t den, int precision) {
+  PFAIR_REQUIRE(den != 0, "ratio with zero denominator");
+  return cell(static_cast<double>(num) / static_cast<double>(den),
+              precision);
+}
+
+}  // namespace pfair

@@ -1,0 +1,32 @@
+// Aligned text tables for experiment output (paper-style rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfair {
+
+/// Builds a column-aligned table: add a header once, then rows; `str()`
+/// pads every column to its widest cell.  Numeric formatting is the
+/// caller's job (pass pre-formatted strings via `cell()` helpers).
+class TextTable {
+ public:
+  TextTable& header(std::vector<std::string> cols);
+  TextTable& row(std::vector<std::string> cols);
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers for table cells.
+[[nodiscard]] std::string cell(std::int64_t v);
+[[nodiscard]] std::string cell(double v, int precision = 3);
+[[nodiscard]] std::string cell_ratio(std::int64_t num, std::int64_t den,
+                                     int precision = 3);
+
+}  // namespace pfair

@@ -1,0 +1,64 @@
+#include "sched/indexed_scheduler.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace pfair {
+
+SlotSchedule schedule_sfq_indexed(const TaskSystem& sys,
+                                  const SfqOptions& opts) {
+  const std::int64_t limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  const PriorityOrder order(sys, opts.policy);
+  SlotSchedule sched(sys);
+
+  // Max-heap on priority: top() is the highest-priority available head.
+  const auto lower = [&order](const SubtaskRef& a, const SubtaskRef& b) {
+    return order.higher(b, a);
+  };
+  std::priority_queue<SubtaskRef, std::vector<SubtaskRef>, decltype(lower)>
+      pq(lower);
+
+  // arrivals[t]: heads becoming available exactly at slot t.
+  std::vector<std::vector<SubtaskRef>> arrivals(
+      static_cast<std::size_t>(limit) + 1);
+  auto push_arrival = [&arrivals, limit](const SubtaskRef& ref,
+                                         std::int64_t at) {
+    if (at >= limit) return;  // can never be scheduled within the horizon
+    arrivals[static_cast<std::size_t>(std::max<std::int64_t>(at, 0))]
+        .push_back(ref);
+  };
+
+  std::int64_t remaining = sys.total_subtasks();
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    if (task.num_subtasks() > 0) {
+      push_arrival(SubtaskRef{k, 0}, task.subtask(0).eligible);
+    }
+  }
+
+  for (std::int64_t t = 0; t < limit && remaining > 0; ++t) {
+    for (const SubtaskRef& ref : arrivals[static_cast<std::size_t>(t)]) {
+      pq.push(ref);
+    }
+    arrivals[static_cast<std::size_t>(t)].clear();
+    for (int r = 0; r < sys.processors() && !pq.empty(); ++r) {
+      const SubtaskRef ref = pq.top();
+      pq.pop();
+      sched.place(ref, t, r);
+      --remaining;
+      const Task& task = sys.task(ref.task);
+      const std::int32_t next = ref.seq + 1;
+      if (next < task.num_subtasks()) {
+        // The successor becomes available at the later of its eligibility
+        // time and the slot after its predecessor's quantum.
+        push_arrival(SubtaskRef{ref.task, next},
+                     std::max<std::int64_t>(task.subtask(next).eligible,
+                                            t + 1));
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace pfair

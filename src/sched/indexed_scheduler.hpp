@@ -1,0 +1,24 @@
+// An index-structured SFQ scheduler — the scalability ablation of
+// DESIGN.md: identical schedules to `schedule_sfq`, different asymptotics.
+//
+// The per-slot scan in SfqSimulator touches every task each slot
+// (O(slots x tasks)).  Here each subtask enters a priority queue exactly
+// once — when it becomes available (its eligibility time, or the slot
+// after its predecessor runs) — and leaves when scheduled, giving
+// O(total subtasks x log tasks) overall.  Priorities are static per
+// subtask (deadline, b-bit, group deadline are fixed), which is what
+// makes the single-insertion design sound.
+//
+// `bench_micro_sched` compares the two implementations; the test suite
+// asserts subtask-for-subtask equality across policies and workloads.
+#pragma once
+
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+/// Drop-in replacement for `schedule_sfq` (same options, same result).
+[[nodiscard]] SlotSchedule schedule_sfq_indexed(const TaskSystem& sys,
+                                                const SfqOptions& opts = {});
+
+}  // namespace pfair

@@ -1,0 +1,145 @@
+#include "sched/pdb_scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+const char* to_string(PdbSet s) {
+  switch (s) {
+    case PdbSet::kEB:
+      return "EB";
+    case PdbSet::kPB:
+      return "PB";
+    case PdbSet::kDB:
+      return "DB";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Candidate {
+  SubtaskRef ref;
+  PdbSet set = PdbSet::kDB;
+};
+
+/// Removes and returns the highest-priority candidate among those matching
+/// `want`; returns false if none match.
+bool take_best(std::vector<Candidate>& cands, const PriorityOrder& order,
+               bool (*want)(PdbSet), Candidate* out) {
+  std::ptrdiff_t best = -1;
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(cands.size()); ++i) {
+    if (!want(cands[static_cast<std::size_t>(i)].set)) continue;
+    if (best < 0 ||
+        order.higher(cands[static_cast<std::size_t>(i)].ref,
+                     cands[static_cast<std::size_t>(best)].ref)) {
+      best = i;
+    }
+  }
+  if (best < 0) return false;
+  *out = cands[static_cast<std::size_t>(best)];
+  cands.erase(cands.begin() + best);
+  return true;
+}
+
+bool is_db(PdbSet s) { return s == PdbSet::kDB; }
+bool is_eb(PdbSet s) { return s == PdbSet::kEB; }
+bool is_eb_or_db(PdbSet s) { return s != PdbSet::kPB; }
+bool is_pb(PdbSet s) { return s == PdbSet::kPB; }
+bool any_set(PdbSet) { return true; }
+
+}  // namespace
+
+SlotSchedule schedule_pdb(const TaskSystem& sys, const PdbOptions& opts) {
+  const std::int64_t limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  // PD^B's underlying priorities ≺/⪯ are PD2's (Sec. 3.1).
+  const PriorityOrder order(sys, Policy::kPd2);
+  SlotSchedule sched(sys);
+
+  const auto n_tasks = static_cast<std::size_t>(sys.num_tasks());
+  std::vector<std::int64_t> head(n_tasks, 0);
+  std::vector<std::int64_t> last_slot(n_tasks, -1);
+  std::int64_t remaining = sys.total_subtasks();
+
+  std::vector<Candidate> cands;
+  cands.reserve(n_tasks);
+
+  for (std::int64_t t = 0; t < limit && remaining > 0; ++t) {
+    cands.clear();
+    std::int64_t n_eb = 0, n_pb = 0, n_db = 0;
+    for (std::size_t k = 0; k < n_tasks; ++k) {
+      const Task& task = sys.task(static_cast<std::int64_t>(k));
+      const std::int64_t h = head[k];
+      if (h >= task.num_subtasks()) continue;
+      const Subtask& s = task.subtask(h);
+      if (s.eligible > t) continue;
+      if (h > 0 && last_slot[k] >= t) continue;
+      Candidate c;
+      c.ref = SubtaskRef{static_cast<std::int32_t>(k),
+                         static_cast<std::int32_t>(h)};
+      if (s.eligible == t) {
+        c.set = PdbSet::kEB;  // Eq. (9)
+        ++n_eb;
+      } else if (h > 0 && last_slot[k] == t - 1) {
+        // Predecessor executes up to t: predecessor-blockable, Eq. (10).
+        c.set = PdbSet::kPB;
+        ++n_pb;
+      } else {
+        c.set = PdbSet::kDB;  // Eq. (11)
+        ++n_db;
+      }
+      cands.push_back(c);
+    }
+    if (cands.empty()) continue;
+    if (opts.trace != nullptr) {
+      opts.trace->slots.push_back(PdbTrace::SlotInfo{t, n_eb, n_pb, n_db, {}});
+    }
+
+    const int m = sys.processors();
+    const std::int64_t p = n_pb;  // |PB(t)| before any decisions (Sec. 3.1)
+    for (int r = 1; r <= m && !cands.empty(); ++r) {
+      Candidate chosen;
+      bool got = false;
+      if (r <= m - p) {
+        // First M-p decisions: PB excluded.  Adversarial mode prefers any
+        // DB subtask over every EB subtask (legal per Table 1: for
+        // r <= M-p, DB ⊑ EB holds unconditionally); benign mode merges
+        // EB and DB under strict PD2.
+        if (opts.mode == PdbMode::kAdversarial) {
+          got = take_best(cands, order, is_db, &chosen) ||
+                take_best(cands, order, is_eb, &chosen);
+        } else {
+          got = take_best(cands, order, is_eb_or_db, &chosen);
+        }
+        // Degenerate slot where only PB subtasks are ready: they cannot be
+        // blocked by anything, so schedule them.
+        if (!got) got = take_best(cands, order, is_pb, &chosen);
+      } else {
+        // Final p decisions: strictly by PD2 over everything remaining.
+        got = take_best(cands, order, any_set, &chosen);
+      }
+      if (!got) break;
+      sched.place(chosen.ref, t, r - 1);
+      const auto k = static_cast<std::size_t>(chosen.ref.task);
+      ++head[k];
+      last_slot[k] = t;
+      --remaining;
+      if (opts.trace != nullptr) {
+        opts.trace->decisions.push_back(
+            PdbDecision{t, r, chosen.ref, chosen.set, r > m - p});
+      }
+    }
+    if (opts.trace != nullptr) {
+      for (const Candidate& c : cands) {
+        opts.trace->slots.back().unserved.emplace_back(c.ref, c.set);
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace pfair

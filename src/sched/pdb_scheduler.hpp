@@ -1,0 +1,75 @@
+// Algorithm PD^B (Sec. 3.1) — the SFQ-model algorithm that mimics, at slot
+// granularity, the priority inversions PD2 suffers under the DVQ model.
+//
+// At each slot t the ready subtasks are partitioned (Eqs. (9)-(11)):
+//   EB(t) — e(T_i) = t: could be *eligibility-blocked* under PD2-DVQ
+//            (a processor freed just before t was handed to lower-priority
+//            work);
+//   PB(t) — e(T_i) < t and the predecessor executes right up to t (it was
+//            scheduled in slot t-1): could be *predecessor-blocked*;
+//   DB(t) — everything else: definitely not blocked.
+// With p = |PB(t)|, the M scheduling decisions for the slot follow
+// Table 1: in the first M-p decisions subtasks in PB are excluded and a DB
+// subtask may be preferred over any EB subtask regardless of PD2 priority;
+// the final p decisions are strictly by PD2 among all remaining ready
+// subtasks.
+//
+// Table 1 leaves the EB-vs-DB preference in the first M-p decisions
+// nondeterministic (both ⊑ directions hold when the DB subtask has lower
+// PD2 priority).  Two resolutions are provided:
+//   * kAdversarial (default) — always prefer DB, maximizing blocking; this
+//     is the worst case the tardiness bound of Theorem 2 is proved
+//     against, and the mode used to search for tardiness-1 witnesses;
+//   * kBenign — schedule EB∪DB strictly by PD2, the mildest legal choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+/// How the Table-1 nondeterminism is resolved (see header comment).
+enum class PdbMode { kAdversarial, kBenign };
+
+/// Which set a scheduled subtask was drawn from (for traces and tests).
+enum class PdbSet { kEB, kPB, kDB };
+
+[[nodiscard]] const char* to_string(PdbSet s);
+
+/// One scheduling decision in a PD^B run.
+struct PdbDecision {
+  std::int64_t slot = 0;
+  int decision = 0;  ///< r in Table 1, 1-based
+  SubtaskRef chosen;
+  PdbSet from = PdbSet::kDB;
+  bool strict_phase = false;  ///< true for the final p decisions
+};
+
+/// Per-slot set sizes plus every decision — enough to audit a run against
+/// Table 1 and Lemma 2.
+struct PdbTrace {
+  struct SlotInfo {
+    std::int64_t slot = 0;
+    std::int64_t eb = 0, pb = 0, db = 0;
+    /// Ready subtasks left unscheduled in this slot, with their sets.
+    std::vector<std::pair<SubtaskRef, PdbSet>> unserved;
+  };
+  std::vector<SlotInfo> slots;
+  std::vector<PdbDecision> decisions;
+};
+
+struct PdbOptions {
+  PdbMode mode = PdbMode::kAdversarial;
+  std::int64_t horizon_limit = 0;  ///< 0 = automatic (same as SFQ)
+  PdbTrace* trace = nullptr;       ///< optional, caller-owned
+};
+
+/// Runs PD^B over the task system.  The underlying tie-broken order is
+/// always PD2, per the paper.
+[[nodiscard]] SlotSchedule schedule_pdb(const TaskSystem& sys,
+                                        const PdbOptions& opts = {});
+
+}  // namespace pfair

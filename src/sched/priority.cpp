@@ -1,0 +1,83 @@
+#include "sched/priority.hpp"
+
+#include "tasks/windows.hpp"
+
+namespace pfair {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kEpdf:
+      return "EPDF";
+    case Policy::kPf:
+      return "PF";
+    case Policy::kPd:
+      return "PD";
+    case Policy::kPd2:
+      return "PD2";
+  }
+  return "?";
+}
+
+int PriorityOrder::compare(const SubtaskRef& a, const SubtaskRef& b) const {
+  const Subtask& sa = sys_->subtask(a);
+  const Subtask& sb = sys_->subtask(b);
+
+  // Rule 1 (all policies): earlier pseudo-deadline first.
+  if (sa.deadline != sb.deadline) return sa.deadline < sb.deadline ? -1 : 1;
+  if (policy_ == Policy::kEpdf) return 0;
+
+  if (policy_ == Policy::kPf) return compare_pf_bits(a, b);
+
+  // Rule 2 (PD, PD2): b-bit 1 beats b-bit 0 — an overlapping window makes
+  // postponement costlier.
+  if (sa.bbit != sb.bbit) return sa.bbit ? -1 : 1;
+  if (!sa.bbit) return 0;
+
+  // Rule 3 (PD, PD2): among b = 1 ties, the *later* group deadline wins —
+  // the longer cascade is the harder one to serve later.  Light tasks
+  // carry group deadline 0 and therefore lose to any heavy contender.
+  if (sa.group_deadline != sb.group_deadline) {
+    return sa.group_deadline > sb.group_deadline ? -1 : 1;
+  }
+  if (policy_ == Policy::kPd2) return 0;
+
+  // PD refinement (see header): heavier weight first.
+  const Rational wa = sys_->task(a.task).weight().value();
+  const Rational wb = sys_->task(b.task).weight().value();
+  if (wa != wb) return wa > wb ? -1 : 1;
+  return 0;
+}
+
+int PriorityOrder::compare_pf_bits(const SubtaskRef& a,
+                                   const SubtaskRef& b) const {
+  // PF breaks a deadline tie by comparing the b-bit strings of the two
+  // subtasks and their successors lexicographically (1 > 0): if the bits
+  // tie at 1, the comparison moves to the successors' deadlines and bits,
+  // and so on.  A 0-0 bit tie is a genuine tie.  The successor windows are
+  // taken on the as-early-as-possible continuation, matching the periodic
+  // definition and its IS extension.
+  const Weight& wa = sys_->task(a.task).weight();
+  const Weight& wb = sys_->task(b.task).weight();
+  const Subtask& sa = sys_->subtask(a);
+  const Subtask& sb = sys_->subtask(b);
+
+  std::int64_t ia = sa.index;
+  std::int64_t ib = sb.index;
+  // Bit strings of rational-weight tasks are eventually periodic with
+  // period at most p; 128 steps is far beyond any distinguishing prefix
+  // for the weights this library accepts, and a deeper tie is a true tie.
+  for (int depth = 0; depth < 128; ++depth) {
+    const bool ba = b_bit(wa, ia);
+    const bool bb = b_bit(wb, ib);
+    if (ba != bb) return ba ? -1 : 1;
+    if (!ba) return 0;  // both windows detach from their successors: tie
+    ++ia;
+    ++ib;
+    const std::int64_t da = sa.theta + pseudo_deadline(wa, ia);
+    const std::int64_t db = sb.theta + pseudo_deadline(wb, ib);
+    if (da != db) return da < db ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace pfair

@@ -1,0 +1,71 @@
+// Pfair priority policies (Sec. 2): EPDF, PF, PD and PD2.
+//
+// All four prioritize earlier pseudo-deadlines; they differ in how they
+// break deadline ties:
+//   * EPDF  — no tie-breaks (suboptimal on M >= 3 processors);
+//   * PF    — compares the successor b-bit string lexicographically
+//             (Baruah et al. [6]);
+//   * PD2   — b-bit, then group deadline (Anderson & Srinivasan [3]);
+//   * PD    — historically PD2's rules plus further rules; here realized as
+//             PD2 refined by task weight.  Because PD2's tie-breaking rules
+//             are a *subset* of PD's and PD2's optimality proof permits
+//             arbitrary resolution of any remaining ties, every
+//             deterministic refinement of PD2 — including this one — is an
+//             optimal member of the PD family.
+//
+// `compare` exposes genuine ties (return 0) because PD^B (Sec. 3.1) needs
+// the paper's non-strict order ⪯; `higher` is the strict total order used
+// for deterministic scheduling (ties resolved by task id, then index).
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Which priority policy drives the scheduler.
+enum class Policy { kEpdf, kPf, kPd, kPd2 };
+
+[[nodiscard]] const char* to_string(Policy p);
+
+/// Priority comparisons over the subtasks of one task system.
+/// Holds a reference to the system; the system must outlive the order.
+class PriorityOrder {
+ public:
+  PriorityOrder(const TaskSystem& sys, Policy policy)
+      : sys_(&sys), policy_(policy) {}
+
+  [[nodiscard]] Policy policy() const { return policy_; }
+
+  /// <0: a has strictly higher priority; 0: genuine tie under the policy's
+  /// rules; >0: a strictly lower.  This is the paper's ≺ / ⪯.
+  [[nodiscard]] int compare(const SubtaskRef& a, const SubtaskRef& b) const;
+
+  /// Paper's T_a ⪯ T_b: "priority of a is at least that of b".
+  [[nodiscard]] bool at_least(const SubtaskRef& a, const SubtaskRef& b) const {
+    return compare(a, b) <= 0;
+  }
+  /// Paper's T_a ≺ T_b (strictly higher priority).
+  [[nodiscard]] bool strictly_higher(const SubtaskRef& a,
+                                     const SubtaskRef& b) const {
+    return compare(a, b) < 0;
+  }
+
+  /// Deterministic strict total order: policy rules, remaining ties by
+  /// (task, seq).  Suitable as a sort comparator.
+  [[nodiscard]] bool higher(const SubtaskRef& a, const SubtaskRef& b) const {
+    const int c = compare(a, b);
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+ private:
+  [[nodiscard]] int compare_pf_bits(const SubtaskRef& a,
+                                    const SubtaskRef& b) const;
+
+  const TaskSystem* sys_;
+  Policy policy_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,67 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace pfair {
+
+SlotSchedule::SlotSchedule(const TaskSystem& sys) {
+  placements_.resize(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    placements_[static_cast<std::size_t>(k)].resize(
+        static_cast<std::size_t>(sys.task(k).num_subtasks()));
+  }
+}
+
+const SlotPlacement& SlotSchedule::placement(const SubtaskRef& ref) const {
+  PFAIR_REQUIRE(ref.task >= 0 &&
+                    static_cast<std::size_t>(ref.task) < placements_.size(),
+                "bad task in " << ref);
+  const auto& row = placements_[static_cast<std::size_t>(ref.task)];
+  PFAIR_REQUIRE(ref.seq >= 0 && static_cast<std::size_t>(ref.seq) < row.size(),
+                "bad seq in " << ref);
+  return row[static_cast<std::size_t>(ref.seq)];
+}
+
+void SlotSchedule::place(const SubtaskRef& ref, std::int64_t slot, int proc) {
+  PFAIR_REQUIRE(slot >= 0, "cannot place in negative slot");
+  auto& p = const_cast<SlotPlacement&>(placement(ref));
+  PFAIR_ASSERT_MSG(!p.scheduled(), "subtask " << ref << " placed twice");
+  p.slot = slot;
+  p.proc = proc;
+  horizon_ = std::max(horizon_, slot + 1);
+}
+
+bool SlotSchedule::complete() const {
+  for (const auto& row : placements_) {
+    for (const auto& p : row) {
+      if (!p.scheduled()) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t SlotSchedule::completion_slot(const SubtaskRef& ref) const {
+  const SlotPlacement& p = placement(ref);
+  PFAIR_REQUIRE(p.scheduled(), "subtask " << ref << " not scheduled");
+  return p.slot + 1;
+}
+
+std::vector<SubtaskRef> SlotSchedule::slot_contents(std::int64_t slot) const {
+  std::vector<SubtaskRef> out;
+  for (std::size_t k = 0; k < placements_.size(); ++k) {
+    const auto& row = placements_[k];
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      if (row[s].slot == slot) {
+        out.push_back(SubtaskRef{static_cast<std::int32_t>(k),
+                                 static_cast<std::int32_t>(s)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [this](const SubtaskRef& a, const SubtaskRef& b) {
+              return placement(a).proc < placement(b).proc;
+            });
+  return out;
+}
+
+}  // namespace pfair

@@ -1,0 +1,59 @@
+// Slot-granularity schedules — the S : tau x N -> {0,1} of Eq. (1),
+// stored as per-subtask placements (SFQ model: every allocation starts on a
+// slot boundary and occupies one whole quantum).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Where one subtask was placed: the slot it occupies and the processor it
+/// ran on.  `slot == kUnscheduled` means the scheduler never placed it
+/// (only possible if the run hit its horizon limit).
+struct SlotPlacement {
+  static constexpr std::int64_t kUnscheduled = -1;
+  std::int64_t slot = kUnscheduled;
+  int proc = -1;
+
+  [[nodiscard]] bool scheduled() const { return slot != kUnscheduled; }
+};
+
+/// A complete SFQ-model schedule for a task system.
+class SlotSchedule {
+ public:
+  /// An empty (all-unscheduled) schedule shaped like `sys`.
+  explicit SlotSchedule(const TaskSystem& sys);
+
+  [[nodiscard]] const SlotPlacement& placement(const SubtaskRef& ref) const;
+  void place(const SubtaskRef& ref, std::int64_t slot, int proc);
+
+  /// True iff every materialized subtask received a slot.
+  [[nodiscard]] bool complete() const;
+
+  /// Number of slots used: 1 + latest occupied slot (0 if empty).
+  [[nodiscard]] std::int64_t horizon() const { return horizon_; }
+
+  /// Completion time of a subtask in the SFQ model: slot + 1.
+  /// Requires the subtask to be scheduled.
+  [[nodiscard]] std::int64_t completion_slot(const SubtaskRef& ref) const;
+
+  /// All subtasks placed in `slot`, ordered by processor.
+  [[nodiscard]] std::vector<SubtaskRef> slot_contents(std::int64_t slot) const;
+
+  [[nodiscard]] std::int64_t num_tasks() const {
+    return static_cast<std::int64_t>(placements_.size());
+  }
+  [[nodiscard]] std::int64_t num_subtasks(std::int64_t task) const {
+    return static_cast<std::int64_t>(
+        placements_[static_cast<std::size_t>(task)].size());
+  }
+
+ private:
+  std::vector<std::vector<SlotPlacement>> placements_;  // [task][seq]
+  std::int64_t horizon_ = 0;
+};
+
+}  // namespace pfair

@@ -1,0 +1,26 @@
+#include "sched/sfq_scheduler.hpp"
+
+#include <utility>
+
+#include "sched/simulator.hpp"
+
+namespace pfair {
+
+std::int64_t default_horizon(const TaskSystem& sys) {
+  // An optimal policy finishes every feasible system by its max deadline.
+  // Suboptimal policies (EPDF) and overutilized systems run longer; known
+  // EPDF tardiness bounds are a small number of quanta, so a linear
+  // allowance in the subtask count is a safe hard stop rather than a bound
+  // we expect to reach.
+  return sys.max_deadline() + sys.total_subtasks() + 16;
+}
+
+SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
+  const std::int64_t limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  SfqSimulator sim(sys, opts.policy);
+  sim.run_until(limit);
+  return std::move(sim).take_schedule();
+}
+
+}  // namespace pfair

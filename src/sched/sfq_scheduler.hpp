@@ -1,0 +1,36 @@
+// The slot-synchronous (SFQ-model) Pfair scheduler.
+//
+// At every slot boundary t the scheduler collects the *ready* subtasks —
+// each task's next unscheduled subtask, provided it is eligible
+// (e(T_i) <= t) and its predecessor, if any, was scheduled before t — and
+// places the M highest-priority ones (under the configured policy) on the
+// M processors.  This is the model of Sec. 2: fixed-size quanta, aligned
+// across processors, decisions at slot boundaries only.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+/// Options for one SFQ run.
+struct SfqOptions {
+  Policy policy = Policy::kPd2;
+  /// Stop after this many slots even if subtasks remain unscheduled.
+  /// 0 = automatic: max deadline plus a tardiness allowance (generous for
+  /// suboptimal policies / infeasible systems).
+  std::int64_t horizon_limit = 0;
+};
+
+/// Runs the SFQ scheduler to completion (or to the horizon limit).
+/// The returned schedule is complete for every feasible system under an
+/// optimal policy; `SlotSchedule::complete()` reports truncation otherwise.
+[[nodiscard]] SlotSchedule schedule_sfq(const TaskSystem& sys,
+                                        const SfqOptions& opts = {});
+
+/// The automatic horizon used when `horizon_limit == 0`.
+[[nodiscard]] std::int64_t default_horizon(const TaskSystem& sys);
+
+}  // namespace pfair

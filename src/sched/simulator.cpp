@@ -1,0 +1,67 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+
+namespace pfair {
+
+SfqSimulator::SfqSimulator(const TaskSystem& sys, Policy policy)
+    : sys_(&sys),
+      order_(sys, policy),
+      sched_(sys),
+      head_(static_cast<std::size_t>(sys.num_tasks()), 0),
+      last_slot_(static_cast<std::size_t>(sys.num_tasks()), -1),
+      allocated_(static_cast<std::size_t>(sys.num_tasks()), 0),
+      remaining_(sys.total_subtasks()) {}
+
+std::vector<SubtaskRef> SfqSimulator::ready() const {
+  std::vector<SubtaskRef> out;
+  const auto n = static_cast<std::size_t>(sys_->num_tasks());
+  for (std::size_t k = 0; k < n; ++k) {
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    const std::int64_t h = head_[k];
+    if (h >= task.num_subtasks()) continue;
+    const Subtask& s = task.subtask(h);
+    // Ready at now(): eligible, predecessor (if any) completed by now().
+    if (s.eligible > now_) continue;
+    if (h > 0 && last_slot_[k] >= now_) continue;
+    out.push_back(SubtaskRef{static_cast<std::int32_t>(k),
+                             static_cast<std::int32_t>(h)});
+  }
+  return out;
+}
+
+std::vector<SubtaskRef> SfqSimulator::step() {
+  std::vector<SubtaskRef> picks = ready();
+  const auto m = std::min<std::size_t>(
+      static_cast<std::size_t>(sys_->processors()), picks.size());
+  std::partial_sort(picks.begin(),
+                    picks.begin() + static_cast<std::ptrdiff_t>(m),
+                    picks.end(),
+                    [this](const SubtaskRef& a, const SubtaskRef& b) {
+                      return order_.higher(a, b);
+                    });
+  picks.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const SubtaskRef ref = picks[r];
+    sched_.place(ref, now_, static_cast<int>(r));
+    const auto k = static_cast<std::size_t>(ref.task);
+    ++head_[k];
+    last_slot_[k] = now_;
+    ++allocated_[k];
+    --remaining_;
+  }
+  ++now_;
+  return picks;
+}
+
+void SfqSimulator::run_until(std::int64_t slot_limit) {
+  while (!done() && now_ < slot_limit) step();
+}
+
+Rational SfqSimulator::lag_of(std::int64_t task) const {
+  const Rational w = sys_->task(task).weight().value();
+  return w * Rational(now_) -
+         Rational(allocated_[static_cast<std::size_t>(task)]);
+}
+
+}  // namespace pfair

@@ -1,0 +1,63 @@
+// Stepwise SFQ simulation — the incremental counterpart of
+// `schedule_sfq` for interactive use, debuggers, and tests that want to
+// inspect scheduler state mid-run (ready sets, per-task lags).
+//
+// One `step()` performs the scheduling decisions of exactly one slot.
+// `schedule_sfq` is implemented on top of this class, so both paths are
+// always behaviourally identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rational.hpp"
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+
+namespace pfair {
+
+struct SfqOptions;  // sched/sfq_scheduler.hpp
+
+/// Incremental slot-by-slot Pfair scheduler.
+/// The task system must outlive the simulator.
+class SfqSimulator {
+ public:
+  SfqSimulator(const TaskSystem& sys, Policy policy = Policy::kPd2);
+
+  /// Next slot to be scheduled (number of steps taken so far).
+  [[nodiscard]] std::int64_t now() const { return now_; }
+  /// True once every materialized subtask has been placed.
+  [[nodiscard]] bool done() const { return remaining_ == 0; }
+
+  /// The subtasks that would be ready if the current slot were scheduled
+  /// now (unsorted, one per task at most).
+  [[nodiscard]] std::vector<SubtaskRef> ready() const;
+
+  /// Schedules slot now(), returns the chosen subtasks in priority order
+  /// (at most M).
+  std::vector<SubtaskRef> step();
+
+  /// Runs until done() or `slot_limit` steps have been taken in total.
+  void run_until(std::int64_t slot_limit);
+
+  /// The schedule accumulated so far.
+  [[nodiscard]] const SlotSchedule& schedule() const { return sched_; }
+  /// Moves the schedule out; the simulator must not be used afterwards.
+  [[nodiscard]] SlotSchedule take_schedule() && { return std::move(sched_); }
+
+  /// lag(T, now()) = wt(T) * now() - quanta allocated so far — the fluid
+  /// drift of task `task` at the current boundary.
+  [[nodiscard]] Rational lag_of(std::int64_t task) const;
+
+ private:
+  const TaskSystem* sys_;
+  PriorityOrder order_;
+  SlotSchedule sched_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> last_slot_;
+  std::vector<std::int64_t> allocated_;
+  std::int64_t now_ = 0;
+  std::int64_t remaining_;
+};
+
+}  // namespace pfair

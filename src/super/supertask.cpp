@@ -1,0 +1,187 @@
+#include "super/supertask.hpp"
+
+#include <algorithm>
+
+#include "analysis/tardiness.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "tasks/windows.hpp"
+
+namespace pfair {
+
+namespace {
+
+/// Job-level EDF of `jobs` over the given grant slots (ascending).
+JobScheduleResult edf_over_grants(const std::vector<Job>& jobs,
+                                  const std::vector<std::int64_t>& grants,
+                                  std::int64_t horizon) {
+  std::vector<std::int64_t> left(jobs.size());
+  JobScheduleResult jr;
+  jr.total_jobs = static_cast<std::int64_t>(jobs.size());
+  jr.completion.assign(jobs.size(), -1);
+  for (std::size_t i = 0; i < jobs.size(); ++i) left[i] = jobs[i].exec;
+
+  for (const std::int64_t t : grants) {
+    std::ptrdiff_t best = -1;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (left[i] == 0 || jobs[i].release > t) continue;
+      if (best < 0 || jobs[i].deadline <
+                          jobs[static_cast<std::size_t>(best)].deadline) {
+        best = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (best < 0) continue;  // granted quantum with nothing pending
+    const auto i = static_cast<std::size_t>(best);
+    if (--left[i] == 0) jr.completion[i] = t + 1;
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::int64_t tard;
+    if (left[i] > 0) {
+      tard = horizon - jobs[i].deadline;
+      jr.completion[i] = -1;
+    } else {
+      tard = std::max<std::int64_t>(0, jr.completion[i] - jobs[i].deadline);
+    }
+    if (tard > 0) ++jr.missed_jobs;
+    jr.max_tardiness = std::max(jr.max_tardiness, tard);
+  }
+  return jr;
+}
+
+/// Expands one group's component jobs over [0, horizon).
+std::vector<Job> component_jobs(const SupertaskGroup& g,
+                                std::int64_t horizon) {
+  std::vector<Task> comp_tasks;
+  int cid = 0;
+  for (const Weight& w : g.components) {
+    comp_tasks.push_back(
+        Task::periodic(g.name + "." + std::to_string(cid++), w, horizon));
+  }
+  const TaskSystem comps(std::move(comp_tasks), 1);
+  return expand_jobs(comps, horizon);
+}
+
+}  // namespace
+
+Rational SupertaskGroup::component_sum() const {
+  Rational sum;
+  for (const Weight& w : components) sum += w.value();
+  return sum;
+}
+
+Weight inflate_weight(const Rational& target, std::int64_t max_period) {
+  PFAIR_REQUIRE(target > Rational(0) && target <= Rational(1),
+                "supertask weight target " << target.str()
+                                           << " outside (0, 1]");
+  PFAIR_REQUIRE(max_period >= 1, "max_period must be >= 1");
+  Weight best(1, 1);
+  Rational best_val(1);
+  for (std::int64_t p = 1; p <= max_period; ++p) {
+    // Smallest e with e/p >= target.
+    const std::int64_t e =
+        std::min<std::int64_t>(p, ceil_div_mul(target.num(), p, target.den()));
+    if (e < 1) continue;
+    const Rational v(e, p);
+    if (v >= target && v < best_val) {
+      best = Weight(e, p);
+      best_val = v;
+    }
+  }
+  return best;
+}
+
+SupertaskResult run_supertasked(const std::vector<SupertaskGroup>& groups,
+                                const std::vector<Weight>& free_tasks,
+                                int processors, std::int64_t horizon,
+                                Policy policy) {
+  PFAIR_REQUIRE(!groups.empty(), "need at least one supertask group");
+  for (const SupertaskGroup& g : groups) {
+    PFAIR_REQUIRE(g.super_weight.value() >= g.component_sum(),
+                  "supertask " << g.name << " weight "
+                               << g.super_weight.str()
+                               << " below its component sum "
+                               << g.component_sum().str());
+  }
+
+  // Horizon: cover several jobs of every component.
+  std::int64_t h = horizon;
+  if (h == 0) {
+    std::int64_t max_p = 1;
+    for (const SupertaskGroup& g : groups) {
+      for (const Weight& w : g.components) max_p = std::max(max_p, w.p);
+    }
+    for (const Weight& w : free_tasks) max_p = std::max(max_p, w.p);
+    h = 6 * max_p;
+  }
+
+  // Outer system: one periodic task per group + the free tasks.
+  std::vector<Task> outer_tasks;
+  outer_tasks.reserve(groups.size() + free_tasks.size());
+  for (const SupertaskGroup& g : groups) {
+    outer_tasks.push_back(Task::periodic(g.name, g.super_weight, h));
+  }
+  int fid = 0;
+  for (const Weight& w : free_tasks) {
+    outer_tasks.push_back(
+        Task::periodic("free" + std::to_string(fid++), w, h));
+  }
+  TaskSystem outer_system(std::move(outer_tasks), processors);
+  PFAIR_REQUIRE(outer_system.feasible(),
+                "outer system overloaded: util "
+                    << outer_system.total_utilization().str() << " > M="
+                    << processors);
+
+  SfqOptions opts;
+  opts.policy = policy;
+  SlotSchedule outer = schedule_sfq(outer_system, opts);
+
+  SupertaskResult res{std::move(outer), std::move(outer_system), {}, 0};
+
+  // Inner level: per group, job-level EDF over the received quanta.
+  for (std::int32_t gi = 0;
+       gi < static_cast<std::int32_t>(groups.size()); ++gi) {
+    const SupertaskGroup& g = groups[static_cast<std::size_t>(gi)];
+    // Slots granted to this supertask, in time order.
+    std::vector<std::int64_t> grants;
+    const Task& st = res.outer_system.task(gi);
+    for (std::int32_t s = 0; s < st.num_subtasks(); ++s) {
+      const SlotPlacement& p = res.outer.placement(SubtaskRef{gi, s});
+      if (p.scheduled()) grants.push_back(p.slot);
+    }
+    std::sort(grants.begin(), grants.end());
+    res.group_jobs.push_back(
+        edf_over_grants(component_jobs(g, h), grants, h));
+  }
+
+  // Free tasks: subtask-level misses under the outer schedule.
+  for (std::int32_t k = static_cast<std::int32_t>(groups.size());
+       k < res.outer_system.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < res.outer_system.task(k).num_subtasks();
+         ++s) {
+      const SubtaskRef ref{k, s};
+      if (!res.outer.placement(ref).scheduled() ||
+          subtask_tardiness(res.outer_system, res.outer, ref) > 0) {
+        ++res.free_misses;
+      }
+    }
+  }
+  return res;
+}
+
+JobScheduleResult run_group_worst_case(const SupertaskGroup& group,
+                                       std::int64_t horizon) {
+  PFAIR_REQUIRE(horizon >= 1, "horizon must be >= 1");
+  PFAIR_REQUIRE(group.super_weight.value() >= group.component_sum(),
+                "supertask weight below its component sum");
+  // Latest legal grants: subtask i in the last slot of its window,
+  // d(S_i) - 1.  Deadlines are strictly increasing, so the slots are
+  // distinct and this is a valid (single-task) schedule.
+  std::vector<std::int64_t> grants;
+  for (std::int64_t i = 1;; ++i) {
+    const std::int64_t d = pseudo_deadline(group.super_weight, i);
+    if (d > horizon) break;
+    grants.push_back(d - 1);
+  }
+  return edf_over_grants(component_jobs(group, horizon), grants, horizon);
+}
+
+}  // namespace pfair

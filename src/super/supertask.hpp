@@ -1,0 +1,79 @@
+// Supertasking — hierarchical Pfair scheduling (Moir & Ramamurthy's
+// supertask approach, the standard companion technique in the Pfair
+// literature for tasks that must share a processor, e.g. to avoid
+// migration or to serialize non-reentrant components).
+//
+// A *supertask* S represents a group of component tasks at the global
+// Pfair level: S competes as an ordinary task of weight wt(S); whenever S
+// is allocated a quantum, an internal uniprocessor scheduler (job-level
+// EDF here) decides which component runs.  The classical observation —
+// reproduced by `bench_supertask` — is that wt(S) = sum of component
+// weights is NOT always sufficient: the Pfair window semantics give S its
+// quanta at fluid-rate *boundaries*, which can starve a component right
+// before its deadline.  Inflating wt(S) ("reweighting") restores the
+// guarantees at some capacity cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edf/jobs.hpp"
+#include "sched/priority.hpp"
+#include "sched/schedule.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// One group of components served through a single supertask.
+struct SupertaskGroup {
+  std::string name;
+  std::vector<Weight> components;  ///< per-component (e, p)
+  /// Weight the supertask competes with at the global level.  Must be at
+  /// least the component sum (checked).  Use `component_sum` /
+  /// `inflate_weight` to construct.
+  Weight super_weight;
+
+  [[nodiscard]] Rational component_sum() const;
+};
+
+/// The lightest weight >= `target` with period at most `max_period`
+/// (searches denominators 1..max_period; throws if target > 1).
+[[nodiscard]] Weight inflate_weight(const Rational& target,
+                                    std::int64_t max_period);
+
+/// Result of a hierarchical run.
+struct SupertaskResult {
+  SlotSchedule outer;              ///< global Pfair schedule
+  TaskSystem outer_system;         ///< supertasks + free tasks
+  /// Per group: component job statistics under the internal EDF.
+  std::vector<JobScheduleResult> group_jobs;
+  /// Free (non-grouped) task misses at subtask granularity.
+  std::int64_t free_misses = 0;
+
+  [[nodiscard]] bool all_components_met() const {
+    for (const JobScheduleResult& r : group_jobs) {
+      if (!r.all_met()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs the hierarchy: global PD2 (or another policy) over the
+/// supertasks plus `free_tasks`, then job-level EDF inside each group
+/// over the quanta its supertask received.  `horizon` bounds both levels
+/// (0 = automatic from the outer system).
+[[nodiscard]] SupertaskResult run_supertasked(
+    const std::vector<SupertaskGroup>& groups,
+    const std::vector<Weight>& free_tasks, int processors,
+    std::int64_t horizon = 0, Policy policy = Policy::kPd2);
+
+/// Worst-case supply analysis: serves one group's components by EDF over
+/// the *latest legal* grant pattern — every supertask subtask scheduled
+/// in the final slot of its window.  No concrete outer schedule can
+/// deliver the supertask's quanta later, so a group that meets all jobs
+/// here meets them under any valid Pfair schedule of the supertask.
+[[nodiscard]] JobScheduleResult run_group_worst_case(
+    const SupertaskGroup& group, std::int64_t horizon);
+
+}  // namespace pfair

@@ -1,0 +1,33 @@
+// PD2 group deadlines.
+//
+// For a *heavy* task (wt >= 1/2), scheduling subtask T_j in the last slot
+// of its length-2 window forces T_{j+1} into the last slot of *its* window
+// whenever the two windows overlap (b(T_j) = 1); this cascade continues
+// until it reaches either a subtask with b = 0 (no overlap) or a successor
+// window of length 3 (one slot of slack).  The *group deadline* D(T_i) is
+// the time at which the cascade starting at T_i must have ended:
+//
+//   D(T_i) = theta(T_i) + d(T_j)   for the smallest j >= i such that
+//            b(T_j) = 0  or  |w(T_{j+1})| = 3,
+//
+// with windows taken on the as-early-as-possible (periodic) continuation of
+// the task from T_i, as in the IS/GIS literature.  For light tasks
+// (wt < 1/2), D(T_i) = 0: light windows always leave slack, so no cascade
+// forms and PD2 treats all light ties alike.
+//
+// PD2 breaks deadline+b-bit ties in favor of the *larger* group deadline
+// (the longer cascade is the more urgent one).
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/weight.hpp"
+
+namespace pfair {
+
+/// Group deadline of subtask index `i` of a zero-offset task.  Returns 0
+/// for light tasks.  For heavy tasks the cascade scan provably terminates
+/// within one period (and is asserted to).
+[[nodiscard]] std::int64_t group_deadline(const Weight& w, std::int64_t i);
+
+}  // namespace pfair

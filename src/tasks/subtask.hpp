@@ -1,0 +1,44 @@
+// The quantum-length unit of Pfair scheduling (Sec. 2).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace pfair {
+
+/// Identifies a subtask inside a TaskSystem: task index + position in that
+/// task's materialized subtask sequence.  `seq` (not the Pfair index `i`)
+/// is used so that GIS systems with absent subtasks still have dense,
+/// O(1)-indexable sequences; `seq - 1` is always the predecessor.
+struct SubtaskRef {
+  std::int32_t task = -1;
+  std::int32_t seq = -1;
+
+  [[nodiscard]] bool valid() const { return task >= 0 && seq >= 0; }
+
+  friend bool operator==(const SubtaskRef&, const SubtaskRef&) = default;
+  friend auto operator<=>(const SubtaskRef&, const SubtaskRef&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const SubtaskRef& ref);
+
+/// Fully-resolved timing parameters of one subtask T_i.  All times are slot
+/// indices (integers), per the paper: the task model — and hence releases,
+/// eligibility times and deadlines — is the same under SFQ and DVQ.
+struct Subtask {
+  std::int64_t index = 1;     ///< Pfair index i >= 1 (may skip under GIS)
+  std::int64_t theta = 0;     ///< IS offset, Eq. (3)-(5)
+  std::int64_t release = 0;   ///< r(T_i), Eq. (3)
+  std::int64_t deadline = 1;  ///< d(T_i), Eq. (4)
+  std::int64_t eligible = 0;  ///< e(T_i), Eq. (6); e <= r
+  bool bbit = false;          ///< PD2 b-bit
+  std::int64_t group_deadline = 0;  ///< absolute PD2 group deadline; 0=light
+
+  /// PF-window [r, d) length.
+  [[nodiscard]] std::int64_t window_length() const {
+    return deadline - release;
+  }
+};
+
+}  // namespace pfair

@@ -1,0 +1,98 @@
+// Recurrent tasks: periodic, sporadic, intra-sporadic (IS) and generalized
+// intra-sporadic (GIS) — Sec. 2 of the paper.
+//
+// A Task owns its weight plus the *materialized* finite sequence of
+// subtasks to be scheduled in an experiment.  Builders enforce the model
+// constraints by construction and by validation:
+//   * Eq. (5): offsets nondecreasing in the subtask index;
+//   * Eq. (6): eligibility times e(T_i) <= r(T_i), nondecreasing;
+//   * GIS release rule: r(T_k) - r(T_i) >= floor((k-1)/wt) - floor((i-1)/wt)
+//     for consecutive materialized subtasks T_i, T_k (automatic given (5)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tasks/subtask.hpp"
+#include "tasks/weight.hpp"
+
+namespace pfair {
+
+/// Which model produced the task (informational; the scheduler treats all
+/// kinds uniformly through the subtask sequence).
+enum class TaskKind { kPeriodic, kSporadic, kIntraSporadic, kGeneralizedIS };
+
+[[nodiscard]] const char* to_string(TaskKind k);
+
+/// One recurrent task and its materialized subtask sequence.
+class Task {
+ public:
+  /// Specification of one subtask for the GIS builder.
+  struct SubtaskSpec {
+    std::int64_t index;          ///< Pfair index i (>= 1, strictly increasing)
+    std::int64_t theta = 0;      ///< offset (Eq. (5): nondecreasing)
+    std::int64_t eligible = -1;  ///< e(T_i); -1 means "use r(T_i)"
+  };
+
+  /// A synchronous periodic task: subtasks 1..n released as early as
+  /// possible, where n covers releases in [0, horizon).
+  [[nodiscard]] static Task periodic(std::string name, Weight w,
+                                     std::int64_t horizon);
+
+  /// A periodic task whose first subtask is released at `phase` (all
+  /// windows shifted right by `phase`); models asynchronous/sporadic
+  /// arrival of the whole task.
+  [[nodiscard]] static Task periodic_phased(std::string name, Weight w,
+                                            std::int64_t phase,
+                                            std::int64_t horizon);
+
+  /// An IS task: subtasks 1..n with explicit per-subtask offsets
+  /// (validated nondecreasing).  `offsets` may be shorter than the number
+  /// of subtasks; the last offset persists.
+  [[nodiscard]] static Task intra_sporadic(std::string name, Weight w,
+                                           const std::vector<std::int64_t>& offsets,
+                                           std::int64_t count);
+
+  /// A GIS task from an explicit subtask list (indices may skip).
+  [[nodiscard]] static Task gis(std::string name, Weight w,
+                                const std::vector<SubtaskSpec>& specs);
+
+  /// Early-release transform (Anderson & Srinivasan [1]): every subtask of
+  /// a job becomes eligible at the job's release, i.e. e(T_i) = theta(T_i)
+  /// + (j-1)p for T_i in job j (indices (j-1)e+1 .. je).  Returns a copy.
+  [[nodiscard]] Task with_early_release() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Weight& weight() const { return weight_; }
+  [[nodiscard]] TaskKind kind() const { return kind_; }
+
+  [[nodiscard]] std::int64_t num_subtasks() const {
+    return static_cast<std::int64_t>(subtasks_.size());
+  }
+  [[nodiscard]] const Subtask& subtask(std::int64_t seq) const {
+    PFAIR_REQUIRE(seq >= 0 && seq < num_subtasks(),
+                  "subtask seq " << seq << " out of range for task " << name_);
+    return subtasks_[static_cast<std::size_t>(seq)];
+  }
+  [[nodiscard]] const std::vector<Subtask>& subtasks() const {
+    return subtasks_;
+  }
+
+  /// Latest deadline over materialized subtasks (0 if none).
+  [[nodiscard]] std::int64_t max_deadline() const;
+
+ private:
+  Task(std::string name, Weight w, TaskKind kind,
+       std::vector<Subtask> subtasks);
+
+  /// Enforces Eqs. (5), (6) and the GIS release rule; throws on violation.
+  void validate() const;
+
+  std::string name_;
+  Weight weight_;
+  TaskKind kind_;
+  std::vector<Subtask> subtasks_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,54 @@
+#include "tasks/task_system.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace pfair {
+
+TaskSystem::TaskSystem(std::vector<Task> tasks, int processors)
+    : tasks_(std::move(tasks)), processors_(processors) {
+  PFAIR_REQUIRE(processors_ >= 1, "need at least one processor");
+  PFAIR_REQUIRE(
+      tasks_.size() <= static_cast<std::size_t>(INT32_MAX),
+      "too many tasks");
+}
+
+Rational TaskSystem::total_utilization() const {
+  Rational sum;
+  for (const Task& t : tasks_) sum += t.weight().value();
+  return sum;
+}
+
+bool TaskSystem::feasible() const {
+  return total_utilization() <= Rational(processors_);
+}
+
+std::int64_t TaskSystem::max_deadline() const {
+  std::int64_t m = 0;
+  for (const Task& t : tasks_) m = std::max(m, t.max_deadline());
+  return m;
+}
+
+std::int64_t TaskSystem::total_subtasks() const {
+  std::int64_t n = 0;
+  for (const Task& t : tasks_) n += t.num_subtasks();
+  return n;
+}
+
+TaskSystem TaskSystem::with_early_release() const {
+  std::vector<Task> er;
+  er.reserve(tasks_.size());
+  for (const Task& t : tasks_) er.push_back(t.with_early_release());
+  return TaskSystem(std::move(er), processors_);
+}
+
+std::string TaskSystem::summary() const {
+  std::ostringstream os;
+  os << num_tasks() << " tasks, M=" << processors_
+     << ", util=" << total_utilization().str() << " ("
+     << total_utilization().to_double() << "), " << total_subtasks()
+     << " subtasks, max deadline " << max_deadline();
+  return os.str();
+}
+
+}  // namespace pfair

@@ -1,0 +1,57 @@
+// A set of tasks plus the processor count — the unit of every experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rational.hpp"
+#include "tasks/task.hpp"
+
+namespace pfair {
+
+/// Value-semantic container for a task set to be scheduled on `processors`
+/// identical processors.
+class TaskSystem {
+ public:
+  TaskSystem(std::vector<Task> tasks, int processors);
+
+  [[nodiscard]] int processors() const { return processors_; }
+  [[nodiscard]] std::int64_t num_tasks() const {
+    return static_cast<std::int64_t>(tasks_.size());
+  }
+  [[nodiscard]] const Task& task(std::int64_t idx) const {
+    PFAIR_REQUIRE(idx >= 0 && idx < num_tasks(),
+                  "task index " << idx << " out of range");
+    return tasks_[static_cast<std::size_t>(idx)];
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+  [[nodiscard]] const Subtask& subtask(const SubtaskRef& ref) const {
+    return task(ref.task).subtask(ref.seq);
+  }
+
+  /// Exact sum of task weights.
+  [[nodiscard]] Rational total_utilization() const;
+
+  /// Feasibility on `processors()` processors: sum(wt) <= M (Sec. 2).
+  [[nodiscard]] bool feasible() const;
+
+  /// Latest subtask deadline across all tasks.
+  [[nodiscard]] std::int64_t max_deadline() const;
+
+  /// Total number of materialized subtasks.
+  [[nodiscard]] std::int64_t total_subtasks() const;
+
+  /// Applies the early-release transform to every task.
+  [[nodiscard]] TaskSystem with_early_release() const;
+
+  /// One-line summary for experiment logs.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Task> tasks_;
+  int processors_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,45 @@
+// Task weight wt(T) = T.e / T.p, Sec. 2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/assert.hpp"
+#include "core/rational.hpp"
+
+namespace pfair {
+
+/// The rate parameter of a Pfair task: `e` quanta of execution every `p`
+/// slots, with 0 < e <= p.  Kept as the raw (e, p) pair rather than a
+/// reduced Rational because window formulas (Eqs. (2)-(4)) are stated in
+/// terms of e and p; `value()` gives the reduced rational weight.
+struct Weight {
+  std::int64_t e = 1;  ///< per-"job" execution cost, in quanta
+  std::int64_t p = 1;  ///< period, in slots
+
+  Weight() = default;
+  Weight(std::int64_t exec, std::int64_t period) : e(exec), p(period) {
+    PFAIR_REQUIRE(e >= 1 && p >= 1 && e <= p,
+                  "weight must satisfy 1 <= e <= p, got e=" << e
+                                                            << " p=" << p);
+  }
+
+  [[nodiscard]] Rational value() const { return Rational(e, p); }
+
+  /// Heavy tasks (wt >= 1/2) have nontrivial group deadlines under PD2.
+  [[nodiscard]] bool heavy() const { return 2 * e >= p; }
+  [[nodiscard]] bool light() const { return !heavy(); }
+  /// Full-rate task (wt == 1) occupies every slot.
+  [[nodiscard]] bool unit() const { return e == p; }
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(e) + "/" + std::to_string(p);
+  }
+
+  friend bool operator==(const Weight& a, const Weight& b) {
+    // Equality of *rates*, not of representations: 1/2 == 2/4.
+    return a.value() == b.value();
+  }
+};
+
+}  // namespace pfair

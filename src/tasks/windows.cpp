@@ -1,0 +1,36 @@
+#include "tasks/windows.hpp"
+
+namespace pfair {
+
+std::int64_t pseudo_release(const Weight& w, std::int64_t i) {
+  PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
+  return floor_div_mul(i - 1, w.p, w.e);
+}
+
+std::int64_t pseudo_deadline(const Weight& w, std::int64_t i) {
+  PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
+  return ceil_div_mul(i, w.p, w.e);
+}
+
+std::int64_t window_length(const Weight& w, std::int64_t i) {
+  return pseudo_deadline(w, i) - pseudo_release(w, i);
+}
+
+bool b_bit(const Weight& w, std::int64_t i) {
+  PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
+  // d(T_i) > r(T_{i+1})  <=>  ceil(i*p/e) > floor(i*p/e)  <=>  e does not
+  // divide i*p.
+  const __int128 prod = static_cast<__int128>(i) * w.p;
+  return prod % w.e != 0;
+}
+
+std::int64_t subtasks_before(const Weight& w, std::int64_t horizon) {
+  PFAIR_REQUIRE(horizon >= 0, "horizon must be >= 0");
+  if (horizon == 0) return 0;
+  // r(T_i) < horizon  <=>  floor((i-1)p/e) < horizon  <=>  (i-1)p <=
+  // horizon*e - 1, so the largest such i is floor((horizon*e - 1)/p) + 1.
+  return floor_div_mul(horizon, w.e, w.p) +
+         ((horizon * w.e) % w.p != 0 ? 1 : 0);
+}
+
+}  // namespace pfair

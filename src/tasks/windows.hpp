@@ -1,0 +1,35 @@
+// Pfair window arithmetic — Eqs. (2)-(4) and the b-bit.
+//
+// For a task with weight wt = e/p and subtask index i >= 1 (offset theta):
+//   r(T_i) = theta + floor((i-1) / wt) = theta + floor((i-1) * p / e)
+//   d(T_i) = theta + ceil(i / wt)      = theta + ceil(i * p / e)
+// computed in exact integer arithmetic with 128-bit intermediates.
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/weight.hpp"
+
+namespace pfair {
+
+/// Pseudo-release of subtask index `i` of a zero-offset task (Eq. (2) left).
+[[nodiscard]] std::int64_t pseudo_release(const Weight& w, std::int64_t i);
+
+/// Pseudo-deadline of subtask index `i` of a zero-offset task (Eq. (2)
+/// right).
+[[nodiscard]] std::int64_t pseudo_deadline(const Weight& w, std::int64_t i);
+
+/// Window length |w(T_i)| = d(T_i) - r(T_i).
+[[nodiscard]] std::int64_t window_length(const Weight& w, std::int64_t i);
+
+/// The PD2 b-bit: b(T_i) = 1 iff the window of T_i overlaps the window of
+/// T_{i+1} when both are released as early as possible, i.e. iff
+/// d(T_i) > r(T_{i+1}), i.e. iff i*p is not a multiple of e.
+[[nodiscard]] bool b_bit(const Weight& w, std::int64_t i);
+
+/// Number of subtasks whose earliest-possible release is < `horizon` slots;
+/// i.e. how many subtasks a periodic task materializes over [0, horizon).
+[[nodiscard]] std::int64_t subtasks_before(const Weight& w,
+                                           std::int64_t horizon);
+
+}  // namespace pfair

@@ -1,0 +1,150 @@
+#include "workload/adversary.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include "analysis/tardiness.hpp"
+#include "dvq/dvq_scheduler.hpp"
+
+namespace pfair {
+
+namespace {
+
+/// Search objective, compared lexicographically: the max tardiness is
+/// what we report; total tardiness and the sum of completion times act
+/// as gradient on the zero-miss plateau (later completions = closer to
+/// a miss).
+struct Objective {
+  std::int64_t max_ticks = 0;
+  std::int64_t total_ticks = 0;
+  std::int64_t completion_sum = 0;
+
+  friend bool operator>(const Objective& a, const Objective& b) {
+    return std::tie(a.max_ticks, a.total_ticks, a.completion_sum) >
+           std::tie(b.max_ticks, b.total_ticks, b.completion_sum);
+  }
+};
+
+/// Dense yield mask over all subtasks, evaluated by one DVQ run.
+struct Candidate {
+  std::vector<std::vector<bool>> yields;  // [task][seq]: true = early
+
+  explicit Candidate(const TaskSystem& sys) {
+    yields.resize(static_cast<std::size_t>(sys.num_tasks()));
+    for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+      yields[static_cast<std::size_t>(k)].assign(
+          static_cast<std::size_t>(sys.task(k).num_subtasks()), false);
+    }
+  }
+
+  void flip(const SubtaskRef& ref) {
+    auto cell = yields[static_cast<std::size_t>(ref.task)].begin() +
+                ref.seq;
+    *cell = !*cell;
+  }
+
+  [[nodiscard]] std::shared_ptr<ScriptedYield> to_script(
+      const TaskSystem& sys, Time delta) const {
+    auto script = std::make_shared<ScriptedYield>();
+    for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+      for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+        if (yields[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(s)]) {
+          script->set(SubtaskRef{k, s}, kQuantum - delta);
+        }
+      }
+    }
+    return script;
+  }
+};
+
+}  // namespace
+
+AdversaryResult find_adversarial_yields(const TaskSystem& sys,
+                                        const AdversaryOptions& opts) {
+  PFAIR_REQUIRE(opts.delta > Time() && opts.delta < kQuantum,
+                "delta must lie in (0, 1)");
+  PFAIR_REQUIRE(opts.sweeps >= 1 && opts.random_restarts >= 0,
+                "bad search parameters");
+
+  AdversaryResult best;
+  best.max_tardiness_ticks = -1;
+
+  std::vector<SubtaskRef> all;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      all.push_back(SubtaskRef{k, s});
+    }
+  }
+
+  auto evaluate = [&](const Candidate& c) {
+    ++best.evaluations;
+    const auto script = c.to_script(sys, opts.delta);
+    DvqOptions dopts;
+    dopts.policy = opts.policy;
+    const DvqSchedule sched = schedule_dvq(sys, *script, dopts);
+    Objective obj;
+    const TardinessSummary sum = measure_tardiness(sys, sched);
+    obj.max_ticks = sum.max_ticks;
+    obj.total_ticks = sum.total_ticks;
+    for (const SubtaskRef& ref : all) {
+      const DvqPlacement& p = sched.placement(ref);
+      if (p.placed) obj.completion_sum += p.completion().raw_ticks();
+    }
+    return obj;
+  };
+
+  Rng rng(opts.seed);
+  for (int restart = 0; restart <= opts.random_restarts; ++restart) {
+    Candidate cur(sys);
+    if (restart > 0) {
+      for (auto& row : cur.yields) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          row[i] = rng.chance(1, 2);
+        }
+      }
+    }
+    Objective cur_val = evaluate(cur);
+
+    for (int sweep = 0; sweep < opts.sweeps; ++sweep) {
+      bool improved = false;
+      // Single toggles.
+      for (const SubtaskRef& ref : all) {
+        cur.flip(ref);
+        const Objective val = evaluate(cur);
+        if (val > cur_val) {
+          cur_val = val;
+          improved = true;
+        } else {
+          cur.flip(ref);
+        }
+      }
+      // Pair toggles, only to escape a plateau.
+      if (!improved && opts.pair_pass) {
+        for (std::size_t i = 0; i < all.size() && !improved; ++i) {
+          for (std::size_t j = i + 1; j < all.size() && !improved; ++j) {
+            cur.flip(all[i]);
+            cur.flip(all[j]);
+            const Objective val = evaluate(cur);
+            if (val > cur_val) {
+              cur_val = val;
+              improved = true;
+            } else {
+              cur.flip(all[i]);
+              cur.flip(all[j]);
+            }
+          }
+        }
+      }
+      if (!improved) break;
+    }
+    if (cur_val.max_ticks > best.max_tardiness_ticks) {
+      best.max_tardiness_ticks = cur_val.max_ticks;
+      best.script = cur.to_script(sys, opts.delta);
+    }
+  }
+  PFAIR_ASSERT(best.script != nullptr);
+  return best;
+}
+
+}  // namespace pfair

@@ -1,0 +1,47 @@
+// Adversarial yield-script search — probing the tightness of Theorem 3.
+//
+// The paper proves tardiness under PD2-DVQ is at most one quantum and
+// notes the bound is tight (misses are known to occur).  Fig. 2 realizes
+// 1 - delta by hand; this module *searches* for high-tardiness yield
+// scripts on arbitrary systems: a greedy coordinate ascent that toggles
+// one subtask's yield at a time (full quantum <-> yield delta early) and
+// keeps the change when the system's maximum tardiness grows.  The
+// result is a concrete witness script plus the tardiness it attains —
+// never reaching one quantum, per the theorem, but often approaching it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dvq/yield.hpp"
+#include "sched/priority.hpp"
+
+namespace pfair {
+
+struct AdversaryOptions {
+  /// The early-yield amount used for toggled subtasks (cost = 1 - delta).
+  Time delta = kTick;
+  /// Coordinate-ascent sweeps over all subtasks.
+  int sweeps = 2;
+  /// Restarts from random initial scripts (0 = start from all-full only).
+  int random_restarts = 2;
+  /// When a single-toggle sweep plateaus, try toggling *pairs* of
+  /// subtasks once (O(n^2) evaluations) — needed because the canonical
+  /// Fig. 2 miss requires two simultaneous yields and is invisible to
+  /// single toggles.
+  bool pair_pass = true;
+  std::uint64_t seed = 1;
+  Policy policy = Policy::kPd2;
+};
+
+struct AdversaryResult {
+  std::shared_ptr<ScriptedYield> script;  ///< the best script found
+  std::int64_t max_tardiness_ticks = 0;   ///< tardiness it attains
+  std::int64_t evaluations = 0;           ///< DVQ runs performed
+};
+
+/// Searches for a yield script maximizing PD2-DVQ tardiness on `sys`.
+[[nodiscard]] AdversaryResult find_adversarial_yields(
+    const TaskSystem& sys, const AdversaryOptions& opts = {});
+
+}  // namespace pfair

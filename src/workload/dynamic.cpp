@@ -1,0 +1,75 @@
+#include "workload/dynamic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tasks/group_deadline.hpp"
+#include "tasks/windows.hpp"
+
+namespace pfair {
+
+std::int64_t retire_time(const DynamicTaskSpec& spec) {
+  PFAIR_REQUIRE(spec.count >= 1, "task must release at least one subtask");
+  const std::int64_t last = spec.count;  // final subtask index
+  const std::int64_t local =
+      spec.weight.heavy() ? group_deadline(spec.weight, last)
+                          : pseudo_deadline(spec.weight, last);
+  return spec.join + local;
+}
+
+DynamicBuildResult build_dynamic(std::vector<DynamicTaskSpec> specs,
+                                 int processors) {
+  PFAIR_REQUIRE(processors >= 1, "need at least one processor");
+  DynamicBuildResult res;
+
+  // Admission: process joins in time order; at each join, the retained
+  // utilization is the sum over tasks whose [join, retire) interval
+  // contains this instant (including the joiner itself).
+  std::sort(specs.begin(), specs.end(),
+            [](const DynamicTaskSpec& a, const DynamicTaskSpec& b) {
+              if (a.join != b.join) return a.join < b.join;
+              return a.name < b.name;
+            });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Rational retained;
+    const std::int64_t now = specs[i].join;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (retire_time(specs[j]) > now) {
+        retained += specs[j].weight.value();
+      }
+    }
+    res.peak_util = std::max(res.peak_util, retained);
+    if (retained > Rational(processors)) {
+      std::ostringstream os;
+      os << "join of " << specs[i].name << " (wt "
+         << specs[i].weight.str() << ") at t=" << now
+         << " would raise retained utilization to " << retained.str()
+         << " > M=" << processors;
+      res.rejection = os.str();
+      return res;
+    }
+  }
+  res.admitted = true;
+
+  // Materialize each admitted task as a GIS task: subtasks 1..count,
+  // all offset by the join time.
+  for (const DynamicTaskSpec& spec : specs) {
+    std::vector<Task::SubtaskSpec> subs;
+    const std::int64_t n = spec.count;
+    subs.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 1; i <= n; ++i) {
+      subs.push_back(Task::SubtaskSpec{i, spec.join, -1});
+    }
+    res.tasks.push_back(Task::gis(spec.name, spec.weight, subs));
+  }
+  return res;
+}
+
+TaskSystem build_dynamic_system(std::vector<DynamicTaskSpec> specs,
+                                int processors) {
+  DynamicBuildResult res = build_dynamic(std::move(specs), processors);
+  PFAIR_REQUIRE(res.admitted, "dynamic scenario rejected: " << res.rejection);
+  return TaskSystem(std::move(res.tasks), processors);
+}
+
+}  // namespace pfair

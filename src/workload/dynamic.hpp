@@ -1,0 +1,63 @@
+// Dynamic task systems: tasks that join and leave at run time.
+//
+// The IS/GIS model already expresses dynamics — a joining task is a task
+// whose offsets start at the join time, and a leaving task simply stops
+// releasing subtasks.  What needs care is *admission*: when may a new
+// task join without endangering the guarantees of the tasks already
+// present?  Following the dynamic-task results in the Pfair literature
+// (Srinivasan & Anderson), a departed task's weight cannot be reused
+// immediately: a light task's share is held until the deadline of its
+// last subtask, a heavy task's until that subtask's group deadline (its
+// final cascade must be allowed to finish).  A join is admitted iff the
+// *retained* utilization — weights of all tasks whose [join, retire)
+// interval contains the join instant — stays within M.
+//
+// `build_dynamic` performs this admission test and materializes the
+// admitted tasks as a GIS task system that any scheduler in the library
+// can run; `bench_dynamic` shows that admitted systems meet every
+// deadline under PD2 while violating the retirement rule breaks them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// One dynamic task: joins at `join`, releases `count` subtasks, leaves.
+/// A departure mid-job (count not a multiple of e) is legal in the GIS
+/// model and is exactly the case where the heavy-task retention rule
+/// matters: a final subtask with b = 1 leaves a live cascade behind.
+struct DynamicTaskSpec {
+  std::string name;
+  Weight weight;
+  std::int64_t join = 0;   ///< slot at which the task joins (theta)
+  std::int64_t count = 1;  ///< subtasks released before leaving
+};
+
+/// The instant at which a departed task's share may be reused: the
+/// deadline (light) or group deadline (heavy) of its final subtask,
+/// shifted by the join offset.  For complete-job departures d = D, so
+/// the distinction only shows for mid-cascade leaves.
+[[nodiscard]] std::int64_t retire_time(const DynamicTaskSpec& spec);
+
+struct DynamicBuildResult {
+  bool admitted = false;      ///< every join passed the admission test
+  std::string rejection;      ///< first failing join, if any
+  std::vector<Task> tasks;    ///< materialized GIS tasks (when admitted)
+  /// Peak retained utilization observed at any join instant.
+  Rational peak_util;
+};
+
+/// Admission-tests and materializes the scenario on `processors`
+/// processors.  Specs may be given in any order.
+[[nodiscard]] DynamicBuildResult build_dynamic(
+    std::vector<DynamicTaskSpec> specs, int processors);
+
+/// Convenience: throws unless admitted, then wraps into a TaskSystem.
+[[nodiscard]] TaskSystem build_dynamic_system(
+    std::vector<DynamicTaskSpec> specs, int processors);
+
+}  // namespace pfair

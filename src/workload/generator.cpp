@@ -1,0 +1,162 @@
+#include "workload/generator.hpp"
+
+#include <array>
+#include <string>
+
+namespace pfair {
+
+const char* to_string(WeightClass c) {
+  switch (c) {
+    case WeightClass::kLight:
+      return "light";
+    case WeightClass::kHeavy:
+      return "heavy";
+    case WeightClass::kMixed:
+      return "mixed";
+    case WeightClass::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Periods that all divide kBase, so any partial utilization sum has a
+/// denominator dividing kBase and the filler weight below is exact.
+constexpr std::int64_t kBase = 240;
+constexpr std::array<std::int64_t, 10> kPeriods = {4,  5,  6,  8,  10,
+                                                   12, 15, 16, 20, 24};
+
+Weight draw_weight(Rng& rng, WeightClass cls) {
+  const std::int64_t p = kPeriods[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<std::int64_t>(kPeriods.size()) - 1))];
+  WeightClass c = cls;
+  if (c == WeightClass::kMixed) {
+    c = rng.chance(1, 2) ? WeightClass::kLight : WeightClass::kHeavy;
+  }
+  std::int64_t e;
+  switch (c) {
+    case WeightClass::kLight:
+      e = rng.uniform(1, std::max<std::int64_t>(1, (p - 1) / 2));
+      break;
+    case WeightClass::kHeavy:
+      e = rng.uniform((p + 1) / 2, p - 1);
+      break;
+    default:
+      e = rng.uniform(1, p - 1);
+      break;
+  }
+  return Weight(e, p);
+}
+
+}  // namespace
+
+TaskSystem generate_periodic(const GeneratorConfig& cfg) {
+  PFAIR_REQUIRE(cfg.target_util > Rational(0) &&
+                    cfg.target_util <= Rational(cfg.processors),
+                "target utilization " << cfg.target_util.str()
+                                      << " out of (0, M]");
+  PFAIR_REQUIRE(cfg.horizon >= 1, "horizon must be >= 1");
+  Rng rng(cfg.seed);
+
+  std::vector<Task> tasks;
+  Rational remaining = cfg.target_util;
+  int id = 0;
+  // Draw until the remainder fits in a single filler task.  Every drawn
+  // weight is < 1, so while remaining > 1 any draw is acceptable.
+  while (remaining > Rational(1)) {
+    const Weight w = draw_weight(rng, cfg.weights);
+    tasks.push_back(
+        Task::periodic("T" + std::to_string(id++), w, cfg.horizon));
+    remaining -= Rational(w.e, w.p);
+  }
+  // Exact filler: remaining = a/b with b | kBase (all drawn periods divide
+  // kBase), so remaining = (a * kBase / b) / kBase.
+  if (remaining > Rational(0)) {
+    PFAIR_ASSERT_MSG(kBase % remaining.den() == 0,
+                     "filler remainder " << remaining.str()
+                                         << " has a period outside the set");
+    const std::int64_t e = remaining.num() * (kBase / remaining.den());
+    PFAIR_ASSERT(e >= 1 && e <= kBase);
+    tasks.push_back(Task::periodic("T" + std::to_string(id++),
+                                   Weight(e, kBase), cfg.horizon));
+  }
+  TaskSystem sys(std::move(tasks), cfg.processors);
+  PFAIR_ASSERT(sys.total_utilization() == cfg.target_util);
+  return sys;
+}
+
+TaskSystem add_is_jitter(const TaskSystem& sys, std::int64_t max_jitter,
+                         std::int64_t num, std::int64_t den,
+                         std::uint64_t seed) {
+  PFAIR_REQUIRE(max_jitter >= 0, "max_jitter must be >= 0");
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& t = sys.task(k);
+    Rng trng = rng.split();
+    std::vector<std::int64_t> offsets;
+    offsets.reserve(static_cast<std::size_t>(t.num_subtasks()));
+    std::int64_t theta = 0;
+    for (std::int64_t s = 0; s < t.num_subtasks(); ++s) {
+      theta = std::max(theta, t.subtask(s).theta);
+      if (trng.chance(num, den)) theta += trng.uniform(0, max_jitter);
+      offsets.push_back(theta);
+    }
+    tasks.push_back(Task::intra_sporadic(t.name() + "~", t.weight(), offsets,
+                                         t.num_subtasks()));
+  }
+  return TaskSystem(std::move(tasks), sys.processors());
+}
+
+TaskSystem drop_subtasks(const TaskSystem& sys, std::int64_t num,
+                         std::int64_t den, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& t = sys.task(k);
+    Rng trng = rng.split();
+    std::vector<Task::SubtaskSpec> specs;
+    for (std::int64_t s = 0; s < t.num_subtasks(); ++s) {
+      const Subtask& sub = t.subtask(s);
+      if (s > 0 && trng.chance(num, den)) continue;
+      specs.push_back(Task::SubtaskSpec{sub.index, sub.theta, sub.eligible});
+    }
+    tasks.push_back(Task::gis(t.name() + "-", t.weight(), specs));
+  }
+  return TaskSystem(std::move(tasks), sys.processors());
+}
+
+TaskSystem advance_eligibility(const TaskSystem& sys,
+                               std::int64_t max_advance, std::int64_t num,
+                               std::int64_t den, std::uint64_t seed) {
+  PFAIR_REQUIRE(max_advance >= 0, "max_advance must be >= 0");
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& t = sys.task(k);
+    Rng trng = rng.split();
+    std::vector<Task::SubtaskSpec> specs;
+    specs.reserve(static_cast<std::size_t>(t.num_subtasks()));
+    std::int64_t floor_e = 0;  // keep Eq. (6): e nondecreasing
+    for (std::int64_t s = 0; s < t.num_subtasks(); ++s) {
+      const Subtask& sub = t.subtask(s);
+      std::int64_t e = sub.eligible;
+      if (trng.chance(num, den)) {
+        e = std::max<std::int64_t>(0, sub.release -
+                                          trng.uniform(0, max_advance));
+      }
+      e = std::min(e, sub.release);
+      e = std::max(e, floor_e);
+      floor_e = e;
+      specs.push_back(Task::SubtaskSpec{sub.index, sub.theta, e});
+    }
+    tasks.push_back(Task::gis(t.name() + "<", t.weight(), specs));
+  }
+  return TaskSystem(std::move(tasks), sys.processors());
+}
+
+}  // namespace pfair

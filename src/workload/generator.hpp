@@ -1,0 +1,67 @@
+// Randomized task-system generation for the experiment harness.
+//
+// Weights are drawn from class-constrained rationals with periods from a
+// divisor-friendly set (all dividing 240), so that exact utilization
+// targets can be hit with a single filler task and all window arithmetic
+// stays small.  IS jitter and GIS drops are applied as transforms on a
+// generated periodic system, preserving Eqs. (5)/(6) by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rational.hpp"
+#include "core/rng.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Which part of the weight range tasks are drawn from.
+enum class WeightClass {
+  kLight,    ///< wt <  1/2
+  kHeavy,    ///< wt in [1/2, 1)
+  kMixed,    ///< coin-flip between light and heavy
+  kUniform,  ///< e uniform in [1, p-1]
+};
+
+[[nodiscard]] const char* to_string(WeightClass c);
+
+struct GeneratorConfig {
+  int processors = 2;
+  /// Exact total utilization; Rational(processors) = fully loaded.
+  /// Must be > 0 and <= processors.
+  Rational target_util = Rational(2);
+  WeightClass weights = WeightClass::kMixed;
+  /// Subtasks are materialized for releases in [0, horizon).
+  std::int64_t horizon = 48;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a synchronous periodic system whose total utilization equals
+/// `target_util` exactly (a final filler task absorbs the remainder).
+[[nodiscard]] TaskSystem generate_periodic(const GeneratorConfig& cfg);
+
+/// IS transform: each subtask's offset grows by a random increment in
+/// [0, max_jitter] with probability num/den (offsets stay nondecreasing —
+/// Eq. (5) — by construction).
+[[nodiscard]] TaskSystem add_is_jitter(const TaskSystem& sys,
+                                       std::int64_t max_jitter,
+                                       std::int64_t num, std::int64_t den,
+                                       std::uint64_t seed);
+
+/// GIS transform: each subtask after the first is removed with
+/// probability num/den.
+[[nodiscard]] TaskSystem drop_subtasks(const TaskSystem& sys,
+                                       std::int64_t num, std::int64_t den,
+                                       std::uint64_t seed);
+
+/// IS-eligibility transform: with probability num/den a subtask becomes
+/// eligible up to `max_advance` slots *before* its release — the e < r
+/// freedom of Eq. (6) ("a subtask can become eligible before its
+/// 'release' time"), kept nondecreasing across the sequence.
+[[nodiscard]] TaskSystem advance_eligibility(const TaskSystem& sys,
+                                             std::int64_t max_advance,
+                                             std::int64_t num,
+                                             std::int64_t den,
+                                             std::uint64_t seed);
+
+}  // namespace pfair

@@ -1,0 +1,111 @@
+#include "workload/paper_figures.hpp"
+
+#include <utility>
+
+#include "analysis/blocking.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace pfair {
+
+TaskSystem fig1_periodic(std::int64_t jobs) {
+  PFAIR_REQUIRE(jobs >= 1, "need at least one job");
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("T", Weight(3, 4), 4 * jobs));
+  return TaskSystem(std::move(tasks), 1);
+}
+
+TaskSystem fig1_intra_sporadic() {
+  // Subtask T_3 becomes eligible (and is released) one time unit late:
+  // offsets 0, 0, 1 — windows [0,2), [1,3), [3,5).
+  std::vector<Task> tasks;
+  tasks.push_back(
+      Task::intra_sporadic("T", Weight(3, 4), {0, 0, 1}, 3));
+  return TaskSystem(std::move(tasks), 1);
+}
+
+TaskSystem fig1_gis() {
+  // T_2 is absent and T_3 is released one time unit late.
+  std::vector<Task> tasks;
+  tasks.push_back(Task::gis("T", Weight(3, 4),
+                            {Task::SubtaskSpec{1, 0, -1},
+                             Task::SubtaskSpec{3, 1, -1}}));
+  return TaskSystem(std::move(tasks), 1);
+}
+
+FigureScenario fig2_scenario(Time delta, std::int64_t periods) {
+  PFAIR_REQUIRE(delta > Time() && delta < kQuantum, "delta must be in (0,1)");
+  PFAIR_REQUIRE(periods >= 1, "need at least one period");
+  const std::int64_t horizon = 6 * periods;
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(1, 6), horizon));
+  tasks.push_back(Task::periodic("B", Weight(1, 6), horizon));
+  tasks.push_back(Task::periodic("C", Weight(1, 6), horizon));
+  tasks.push_back(Task::periodic("D", Weight(1, 2), horizon));
+  tasks.push_back(Task::periodic("E", Weight(1, 2), horizon));
+  tasks.push_back(Task::periodic("F", Weight(1, 2), horizon));
+  FigureScenario sc{TaskSystem(std::move(tasks), 2),
+                    std::make_shared<ScriptedYield>()};
+  // Under PD2, slot 1 holds A_1 and F_1 (D_1, E_1 win slot 0 by their
+  // earlier deadline 2; at t = 1, F_1 still has deadline 2 and A_1 is the
+  // first of the weight-1/6 tasks).  Both yield delta before the slot
+  // ends — the paper's Fig. 2(b) trigger.
+  sc.yields->set(SubtaskRef{0, 0}, kQuantum - delta);  // A_1
+  sc.yields->set(SubtaskRef{5, 0}, kQuantum - delta);  // F_1
+  return sc;
+}
+
+FigureScenario fig3_scenario(Time delta) {
+  PFAIR_REQUIRE(delta > Time() && delta < kQuantum, "delta must be in (0,1)");
+  // The paper's Fig. 3 does not specify its task weights, so this is a
+  // reconstruction with the same structure, engineered so that under
+  // PD2-DVQ subtask B_3 is *predecessor-blocked* at time 2:
+  //
+  //   slot 0: Y_1 [0,2) and B_1 [0,3) run full quanta;
+  //   slot 1: Y_2 (deadline 3) and B_2 (ready at 1 via its IS eligibility
+  //           time e = 1 < r = 2) are scheduled; Y_2 yields delta early;
+  //   2-delta: the freed processor goes to L_1 (deadline 12 — far lower
+  //           priority than the still-unready B_3), which runs a full
+  //           quantum;
+  //   t = 2:  B_2 completes exactly at 2, releasing B_3 (e = 1 < 2);
+  //           the freed processor is taken by V_1, released exactly at 2
+  //           with deadline 4 < d(B_3) = 8.  B_3 waits until 3 - delta
+  //           while the lower-priority L_1 executes: predecessor
+  //           blocking, with V = {V_1} witnessing Property PB.
+  //
+  // Total utilization 1/2 + 2/5 + 2/3 + 1/12 = 1.65 <= M = 2: feasible.
+  std::vector<Task> tasks;
+  // V: weight 1/2 arriving at time 2 — the higher-priority subtask
+  // released exactly at the blocking instant.
+  tasks.push_back(Task::periodic_phased("V", Weight(1, 2), 2, 10));
+  // B: weight 2/5 GIS task; eligibility times pulled ahead of the
+  // releases (legal under Eq. (6)) so B_2 runs [1,2) and B_3 is ready the
+  // moment B_2 completes.
+  tasks.push_back(Task::gis("B", Weight(2, 5),
+                            {Task::SubtaskSpec{1, 0, 0},
+                             Task::SubtaskSpec{2, 0, 1},
+                             Task::SubtaskSpec{3, 0, 1}}));
+  // Y: weight 2/3; its second subtask is the early yielder.
+  tasks.push_back(Task::periodic("Y", Weight(2, 3), 9));
+  // L: weight 1/12 background task — the lower-priority work that makes
+  // the wait at t = 2 a genuine priority inversion.
+  tasks.push_back(Task::periodic("L", Weight(1, 12), 12));
+
+  FigureScenario sc{TaskSystem(std::move(tasks), 2),
+                    std::make_shared<ScriptedYield>()};
+  sc.yields->set(SubtaskRef{2, 1}, kQuantum - delta);  // Y_2
+  return sc;
+}
+
+TaskSystem fig6_system() {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(1, 6), 6));
+  tasks.push_back(Task::periodic("B", Weight(1, 6), 6));
+  tasks.push_back(Task::periodic("C", Weight(1, 6), 6));
+  tasks.push_back(Task::periodic("D", Weight(1, 2), 6));
+  tasks.push_back(Task::periodic("E", Weight(1, 2), 6));
+  tasks.push_back(Task::periodic("F", Weight(1, 2), 6));
+  return TaskSystem(std::move(tasks), 2);
+}
+
+}  // namespace pfair

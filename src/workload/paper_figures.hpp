@@ -1,0 +1,48 @@
+// The exact task systems and yield scripts behind the paper's figures.
+//
+// Figures 1, 2 and 6 fully specify their task systems in the text; this
+// module reconstructs them verbatim.  Figure 3's weights are not given in
+// the text, so `fig3_scenario` *synthesizes* a task system with the same
+// structure (documented in DESIGN.md): a subtask B_2 whose predecessor
+// runs to an integral time t while another processor, freed early, is
+// handed lower-priority work — producing predecessor blocking at t,
+// witnessed by a higher-priority subtask released exactly at t.
+#pragma once
+
+#include <memory>
+
+#include "dvq/yield.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Fig. 1(a): one periodic task of weight 3/4 (windows [0,2) [1,3) [2,4)
+/// repeating each period).  `jobs` controls how many periods are
+/// materialized.
+[[nodiscard]] TaskSystem fig1_periodic(std::int64_t jobs = 2);
+
+/// Fig. 1(b): the IS variant — subtask T_3 released one slot late.
+[[nodiscard]] TaskSystem fig1_intra_sporadic();
+
+/// Fig. 1(c): the GIS variant — T_2 absent, T_3 one slot late.
+[[nodiscard]] TaskSystem fig1_gis();
+
+/// A figure task system paired with the yield script that drives it.
+struct FigureScenario {
+  TaskSystem system;
+  std::shared_ptr<ScriptedYield> yields;
+};
+
+/// Fig. 2: A, B, C of weight 1/6 and D, E, F of weight 1/2 on M = 2;
+/// the subtasks scheduled in slot 1 (A_1 and F_1 under PD2) yield `delta`
+/// before the slot ends.  `periods` repeats the 6-slot pattern.
+[[nodiscard]] FigureScenario fig2_scenario(Time delta = kTick,
+                                           std::int64_t periods = 1);
+
+/// Fig. 3-style predecessor-blocking scenario on M = 3 (see header note).
+[[nodiscard]] FigureScenario fig3_scenario(Time delta = kTick);
+
+/// Fig. 6: same weights as Fig. 2 (used for the k-compliance walkthrough).
+[[nodiscard]] TaskSystem fig6_system();
+
+}  // namespace pfair

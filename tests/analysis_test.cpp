@@ -1,0 +1,189 @@
+// Tests for validity checking, tardiness accounting and lag analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/lag.hpp"
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace pfair {
+namespace {
+
+TaskSystem one_task(Weight w, std::int64_t horizon, int m = 1) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("T", w, horizon));
+  return TaskSystem(std::move(tasks), m);
+}
+
+// ----------------------------------------------------------- slot validity
+
+TEST(Validity, AcceptsAHandBuiltValidSchedule) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 1, 0);
+  sched.place(SubtaskRef{0, 1}, 2, 0);
+  EXPECT_TRUE(check_slot_schedule(sys, sched).valid());
+}
+
+TEST(Validity, DetectsUnscheduled) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 0, 0);
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].kind, Violation::Kind::kUnscheduled);
+}
+
+TEST(Validity, DetectsDeadlineMissAndAllowance) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 2, 0);  // d = 2, completes at 3
+  sched.place(SubtaskRef{0, 1}, 3, 0);  // d = 4, completes at 4: fine
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].kind, Violation::Kind::kDeadlineMiss);
+  EXPECT_TRUE(check_slot_schedule(sys, sched, 1).valid());
+}
+
+TEST(Validity, DetectsBeforeEligible) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 0, 0);
+  sched.place(SubtaskRef{0, 1}, 1, 0);  // r = e = 2, scheduled at 1
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  ASSERT_FALSE(rep.valid());
+  EXPECT_EQ(rep.violations[0].kind, Violation::Kind::kBeforeEligible);
+}
+
+TEST(Validity, DetectsIntraTaskParallelismAndOverload) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(2, 2), 2));
+  tasks.push_back(Task::periodic("B", Weight(1, 2), 2));
+  const TaskSystem sys(std::move(tasks), 1);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 0, 0);
+  sched.place(SubtaskRef{0, 1}, 0, 1);  // same slot as its predecessor
+  sched.place(SubtaskRef{1, 0}, 0, 2);  // third subtask in slot 0, M = 1
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  bool saw_parallel = false, saw_overload = false;
+  for (const Violation& v : rep.violations) {
+    saw_parallel |= v.kind == Violation::Kind::kIntraTaskParallel;
+    saw_overload |= v.kind == Violation::Kind::kOverloadedSlot;
+  }
+  EXPECT_TRUE(saw_parallel);
+  EXPECT_TRUE(saw_overload);
+}
+
+TEST(Validity, ReportStringMentionsKind) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 3, 0);
+  sched.place(SubtaskRef{0, 1}, 2, 0);
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  EXPECT_NE(rep.str().find("violation"), std::string::npos);
+  EXPECT_EQ(check_slot_schedule(sys, schedule_sfq(sys)).str(), "valid");
+}
+
+TEST(Validity, PrecedenceViolationDetected) {
+  const TaskSystem sys = one_task(Weight(1, 2), 6);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 4, 0);
+  sched.place(SubtaskRef{0, 1}, 2, 0);  // before its predecessor
+  sched.place(SubtaskRef{0, 2}, 5, 0);
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  bool saw = false;
+  for (const Violation& v : rep.violations) {
+    saw |= v.kind == Violation::Kind::kPrecedence;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// -------------------------------------------------------------- tardiness
+
+TEST(Tardiness, SlotScheduleValues) {
+  const TaskSystem sys = one_task(Weight(1, 2), 6);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 3, 0);  // d = 2 -> tardiness 2
+  sched.place(SubtaskRef{0, 1}, 4, 0);  // d = 4 -> tardiness 1
+  sched.place(SubtaskRef{0, 2}, 5, 0);  // d = 6 -> 0
+  EXPECT_EQ(subtask_tardiness(sys, sched, SubtaskRef{0, 0}), 2);
+  EXPECT_EQ(subtask_tardiness(sys, sched, SubtaskRef{0, 1}), 1);
+  EXPECT_EQ(subtask_tardiness(sys, sched, SubtaskRef{0, 2}), 0);
+  const TardinessSummary sum = measure_tardiness(sys, sched);
+  EXPECT_EQ(sum.max_ticks, 2 * kTicksPerSlot);
+  EXPECT_EQ(sum.late_subtasks, 2);
+  EXPECT_EQ(sum.total_ticks, 3 * kTicksPerSlot);
+  EXPECT_EQ(sum.worst, (SubtaskRef{0, 0}));
+  EXPECT_EQ(sum.max_quanta_ceil(), 2);
+  EXPECT_FALSE(sum.none_late());
+}
+
+TEST(Tardiness, CountsUnscheduled) {
+  const TaskSystem sys = one_task(Weight(1, 2), 6);
+  const SlotSchedule sched(sys);  // nothing placed
+  const TardinessSummary sum = measure_tardiness(sys, sched);
+  EXPECT_EQ(sum.unscheduled, 3);
+  EXPECT_FALSE(sum.none_late());
+}
+
+TEST(Tardiness, ValuesVectorSkipsUnscheduled) {
+  const TaskSystem sys = one_task(Weight(1, 2), 6);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 0, 0);
+  EXPECT_EQ(tardiness_values_ticks(sys, sched).size(), 1u);
+}
+
+// -------------------------------------------------------------------- lag
+
+TEST(Lag, ZeroAtBoundariesOfAPerfectlyPeriodicSchedule) {
+  // Weight 1/2 scheduled in every even slot: lag oscillates 0, 1/2, 0...
+  const TaskSystem sys = one_task(Weight(1, 2), 8);
+  SlotSchedule sched(sys);
+  for (std::int32_t s = 0; s < 4; ++s) {
+    sched.place(SubtaskRef{0, s}, 2 * s, 0);
+  }
+  EXPECT_EQ(lag(sys, sched, 0, 0), Rational(0));
+  EXPECT_EQ(lag(sys, sched, 0, 1), Rational(-1, 2));
+  EXPECT_EQ(lag(sys, sched, 0, 2), Rational(0));
+  EXPECT_EQ(lag(sys, sched, 0, 8), Rational(0));
+}
+
+TEST(Lag, LateExecutionGivesPositiveLag) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 1, 0);
+  sched.place(SubtaskRef{0, 1}, 3, 0);
+  EXPECT_EQ(lag(sys, sched, 0, 1), Rational(1, 2));
+  const LagRange r = lag_range(sys, sched, 4);
+  EXPECT_EQ(r.max, Rational(1, 2));
+  EXPECT_EQ(r.min, Rational(0));
+  EXPECT_TRUE(is_pfair(sys, sched, 4));
+}
+
+TEST(Lag, MissedDeadlineBreaksPfairness) {
+  const TaskSystem sys = one_task(Weight(1, 2), 4);
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 2, 0);  // window [0,2) missed
+  sched.place(SubtaskRef{0, 1}, 3, 0);
+  // lag at t = 2 is 1 (one full quantum behind): not Pfair.
+  EXPECT_EQ(lag(sys, sched, 0, 2), Rational(1));
+  EXPECT_FALSE(is_pfair(sys, sched, 4));
+}
+
+TEST(Lag, Pd2SchedulesArePfairAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 2;
+    cfg.target_util = Rational(2);
+    cfg.horizon = 18;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const SlotSchedule sched = schedule_sfq(sys);
+    ASSERT_TRUE(sched.complete());
+    EXPECT_TRUE(is_pfair(sys, sched, cfg.horizon)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pfair

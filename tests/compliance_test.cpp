@@ -1,0 +1,101 @@
+// Tests for the k-compliance induction of Sec. 3.3 (Lemma 6 / Fig. 6):
+// the constructive bridge from PD2's optimality to PD^B's one-quantum
+// tardiness bound.
+#include <gtest/gtest.h>
+
+#include "analysis/compliance.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Compliance, Fig6FullInduction) {
+  // The paper's Fig. 6 system: every intermediate k-compliant schedule is
+  // valid and S_B's tardiness is exactly one quantum (F_2's miss).
+  const ComplianceResult res = run_compliance(fig6_system());
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.ranks, 12);
+  EXPECT_EQ(res.steps_checked, 13);  // k = 0 .. 12
+  EXPECT_EQ(res.sb_max_tardiness, 1);
+}
+
+TEST(Compliance, StepMechanismsAreAccounted) {
+  const ComplianceResult res = run_compliance(fig6_system());
+  ASSERT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.already_placed + res.holes_used + res.swaps_used, res.ranks);
+}
+
+TEST(Compliance, BenignModeAlsoComplies) {
+  ComplianceOptions opts;
+  opts.pdb_mode = PdbMode::kBenign;
+  const ComplianceResult res = run_compliance(fig6_system(), opts);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.sb_max_tardiness, 0);  // benign PD^B == PD2 here
+}
+
+TEST(Compliance, EndpointsOnlyModeMatchesFullRun) {
+  ComplianceOptions fast;
+  fast.check_all_steps = false;
+  const ComplianceResult a = run_compliance(fig6_system(), fast);
+  const ComplianceResult b = run_compliance(fig6_system());
+  EXPECT_TRUE(a.ok) << a.failure;
+  EXPECT_EQ(a.ranks, b.ranks);
+  EXPECT_EQ(a.sb_max_tardiness, b.sb_max_tardiness);
+  EXPECT_LT(a.steps_checked, b.steps_checked);
+}
+
+struct ComplianceCase {
+  int processors;
+  WeightClass cls;
+  std::uint64_t seed;
+};
+
+class ComplianceSweep : public ::testing::TestWithParam<ComplianceCase> {};
+
+TEST_P(ComplianceSweep, RandomSystemsComply) {
+  const ComplianceCase c = GetParam();
+  GeneratorConfig cfg;
+  cfg.processors = c.processors;
+  cfg.target_util = Rational(c.processors);
+  cfg.horizon = 10;  // keep the O(n^2) induction affordable
+  cfg.weights = c.cls;
+  cfg.seed = c.seed;
+  const TaskSystem sys = generate_periodic(cfg);
+  const ComplianceResult res = run_compliance(sys);
+  EXPECT_TRUE(res.ok) << "seed " << c.seed << ": " << res.failure << "\n"
+                      << sys.summary();
+  EXPECT_LE(res.sb_max_tardiness, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ComplianceSweep,
+    ::testing::Values(ComplianceCase{2, WeightClass::kMixed, 61},
+                      ComplianceCase{2, WeightClass::kHeavy, 62},
+                      ComplianceCase{2, WeightClass::kLight, 63},
+                      ComplianceCase{3, WeightClass::kMixed, 64},
+                      ComplianceCase{3, WeightClass::kHeavy, 65},
+                      ComplianceCase{4, WeightClass::kMixed, 66}),
+    [](const ::testing::TestParamInfo<ComplianceCase>& param_info) {
+      const ComplianceCase& c = param_info.param;
+      return "M" + std::to_string(c.processors) + "_" + to_string(c.cls) +
+             "_seed" + std::to_string(c.seed);
+    });
+
+TEST(Compliance, GisSystemsComply) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 2;
+    cfg.target_util = Rational(2);
+    cfg.horizon = 10;
+    cfg.seed = seed;
+    const TaskSystem gis = drop_subtasks(
+        add_is_jitter(generate_periodic(cfg), 1, 1, 4, seed + 7), 1, 6,
+        seed + 9);
+    const ComplianceResult res = run_compliance(gis);
+    EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.failure;
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,149 @@
+// Tests for the EDF baselines: job expansion, uniprocessor optimality,
+// the Dhall effect under global EDF, and partitioning limits — the
+// utilization gap that motivates Pfair (Sec. 1).
+#include <gtest/gtest.h>
+
+#include "analysis/tardiness.hpp"
+#include "edf/global_edf.hpp"
+#include "edf/partitioned_edf.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace pfair {
+namespace {
+
+TaskSystem make_sys(std::vector<std::pair<std::int64_t, std::int64_t>> ws,
+                    int m, std::int64_t horizon) {
+  std::vector<Task> tasks;
+  int id = 0;
+  for (const auto& [e, p] : ws) {
+    tasks.push_back(
+        Task::periodic("T" + std::to_string(id++), Weight(e, p), horizon));
+  }
+  return TaskSystem(std::move(tasks), m);
+}
+
+TEST(Jobs, ExpansionMatchesPeriods) {
+  const TaskSystem sys = make_sys({{1, 2}, {2, 3}}, 1, 6);
+  const std::vector<Job> jobs = expand_jobs(sys, 6);
+  // 3 jobs of T0 (releases 0,2,4) + 2 jobs of T1 (releases 0,3).
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].release, 0);
+  EXPECT_EQ(jobs[0].deadline, 2);
+  EXPECT_EQ(jobs[0].exec, 1);
+  EXPECT_EQ(jobs[3].task, 1);
+  EXPECT_EQ(jobs[4].release, 3);
+  EXPECT_EQ(jobs[4].deadline, 6);
+  EXPECT_EQ(jobs[4].exec, 2);
+}
+
+TEST(Jobs, RejectsNonPeriodicTasks) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::intra_sporadic("T", Weight(1, 2), {0, 1}, 2));
+  const TaskSystem sys(std::move(tasks), 1);
+  EXPECT_THROW((void)expand_jobs(sys, 4), ContractViolation);
+}
+
+TEST(GlobalEdf, UniprocessorOptimal) {
+  // EDF is optimal on one processor: any util <= 1 set meets deadlines.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 1;
+    cfg.target_util = Rational(1);
+    cfg.horizon = 40;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const JobScheduleResult res = run_global_edf(sys);
+    EXPECT_TRUE(res.all_met()) << "seed " << seed << " missed "
+                               << res.missed_jobs << "/" << res.total_jobs;
+  }
+}
+
+TEST(GlobalEdf, DhallEffect) {
+  // Two light tasks (1/5) + one heavy (10/11) on M = 2: utilization 1.31
+  // of 2, yet global EDF misses — the heavy job loses slots 0 and 5 to
+  // the short-deadline jobs and cannot finish 10 quanta by time 11.
+  const TaskSystem sys = make_sys({{1, 5}, {1, 5}, {10, 11}}, 2, 55);
+  ASSERT_LT(sys.total_utilization(), Rational(3, 2));
+  const JobScheduleResult res = run_global_edf(sys);
+  EXPECT_GT(res.missed_jobs, 0);
+  EXPECT_GT(res.max_tardiness, 0);
+
+  // PD2 schedules the same system with no misses.
+  const SlotSchedule pd2 = schedule_sfq(sys);
+  ASSERT_TRUE(pd2.complete());
+  EXPECT_EQ(measure_tardiness(sys, pd2).max_ticks, 0);
+}
+
+TEST(GlobalEdf, MeetsAtLowUtilization) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 4;
+    cfg.target_util = Rational(2);  // M/2 — the classic safe zone
+    cfg.horizon = 30;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const JobScheduleResult res = run_global_edf(sys);
+    EXPECT_TRUE(res.all_met()) << "seed " << seed;
+  }
+}
+
+TEST(PartitionedEdf, ThreeTwoThirdsDoNotPartition) {
+  // Three tasks of weight 2/3 on two processors: total utilization 2 = M,
+  // but no pair fits on one processor — first-fit fails while PD2
+  // schedules the same system perfectly.
+  const TaskSystem sys = make_sys({{2, 3}, {2, 3}, {2, 3}}, 2, 12);
+  const PartitionedEdfResult res = run_partitioned_edf(sys);
+  EXPECT_FALSE(res.partitioned);
+
+  const SlotSchedule pd2 = schedule_sfq(sys);
+  ASSERT_TRUE(pd2.complete());
+  EXPECT_EQ(measure_tardiness(sys, pd2).max_ticks, 0);
+}
+
+TEST(PartitionedEdf, PartitionableSetMeetsAllDeadlines) {
+  const TaskSystem sys = make_sys({{1, 2}, {1, 2}, {1, 2}, {1, 2}}, 2, 20);
+  const PartitionedEdfResult res = run_partitioned_edf(sys);
+  ASSERT_TRUE(res.partitioned);
+  EXPECT_TRUE(res.schedule.all_met());
+  // Two tasks per processor.
+  std::vector<int> count(2, 0);
+  for (const int a : res.assignment) {
+    ASSERT_GE(a, 0);
+    ++count[static_cast<std::size_t>(a)];
+  }
+  EXPECT_EQ(count[0], 2);
+  EXPECT_EQ(count[1], 2);
+}
+
+TEST(PartitionedEdf, FirstFitDecreasingPacksByWeight) {
+  // 0.9 + 0.9 + 0.1 + 0.1 on 2 processors: FFD places the two heavies on
+  // separate processors and the lights beside them.
+  const TaskSystem sys =
+      make_sys({{9, 10}, {9, 10}, {1, 10}, {1, 10}}, 2, 20);
+  const PartitionedEdfResult res = run_partitioned_edf(sys);
+  ASSERT_TRUE(res.partitioned);
+  EXPECT_NE(res.assignment[0], res.assignment[1]);
+  EXPECT_TRUE(res.schedule.all_met());
+}
+
+TEST(PartitionedEdf, OverloadedProcessorMisses) {
+  // A partitionable but per-processor-overloaded system cannot happen
+  // with FFD (it never packs above 1); instead check an infeasible
+  // system is rejected by bin packing.
+  const TaskSystem sys = make_sys({{1, 1}, {1, 1}, {1, 2}}, 2, 8);
+  const PartitionedEdfResult res = run_partitioned_edf(sys);
+  EXPECT_FALSE(res.partitioned);
+}
+
+TEST(GlobalEdf, UnfinishedJobsCountedAsMisses) {
+  // Utilization 2 on one processor: most jobs cannot finish; the result
+  // must report misses rather than silently dropping jobs.
+  const TaskSystem sys = make_sys({{1, 1}, {1, 1}}, 1, 6);
+  const JobScheduleResult res = run_global_edf(sys);
+  EXPECT_GT(res.missed_jobs, 0);
+  EXPECT_EQ(res.total_jobs, 12);
+}
+
+}  // namespace
+}  // namespace pfair

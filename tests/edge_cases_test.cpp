@@ -1,0 +1,171 @@
+// Edge-case and contract tests: API misuse, empty/degenerate inputs,
+// clipping paths — the defensive surface of the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/tardiness.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "io/render.hpp"
+#include "io/svg.hpp"
+#include "io/table.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+// ------------------------------------------------------------- schedules
+
+TEST(EdgeCases, DoublePlacementRejected) {
+  const TaskSystem sys = fig1_periodic();
+  SlotSchedule sched(sys);
+  sched.place(SubtaskRef{0, 0}, 0, 0);
+  EXPECT_THROW(sched.place(SubtaskRef{0, 0}, 1, 0), ContractViolation);
+  EXPECT_THROW(sched.place(SubtaskRef{0, 1}, -1, 0), ContractViolation);
+  EXPECT_THROW((void)sched.placement(SubtaskRef{0, 99}), ContractViolation);
+  EXPECT_THROW((void)sched.placement(SubtaskRef{7, 0}), ContractViolation);
+}
+
+TEST(EdgeCases, CompletionOfUnscheduledRejected) {
+  const TaskSystem sys = fig1_periodic();
+  const SlotSchedule sched(sys);
+  EXPECT_THROW((void)sched.completion_slot(SubtaskRef{0, 0}),
+               ContractViolation);
+  EXPECT_THROW(
+      (void)subtask_tardiness_ticks(sys, DvqSchedule(sys), SubtaskRef{0, 0}),
+      ContractViolation);
+}
+
+TEST(EdgeCases, DvqPlacementContracts) {
+  const TaskSystem sys = fig1_periodic();
+  DvqSchedule sched(sys);
+  EXPECT_THROW(sched.place(SubtaskRef{0, 0}, Time::slots(0), Time(), 0),
+               ContractViolation);  // zero cost
+  EXPECT_THROW(sched.place(SubtaskRef{0, 0}, Time::slots(0),
+                           kQuantum + kTick, 0),
+               ContractViolation);  // cost > 1
+  EXPECT_THROW(sched.place(SubtaskRef{0, 0}, Time::slots(0), kQuantum, 5),
+               ContractViolation);  // bad processor (M = 1)
+  sched.place(SubtaskRef{0, 0}, Time::slots(0), kQuantum, 0);
+  EXPECT_THROW(sched.place(SubtaskRef{0, 0}, Time::slots(1), kQuantum, 0),
+               ContractViolation);  // double placement
+}
+
+// ------------------------------------------------------------ schedulers
+
+TEST(EdgeCases, EmptyTaskSystemSchedulesTrivially) {
+  const TaskSystem sys({}, 2);
+  const SlotSchedule sched = schedule_sfq(sys);
+  EXPECT_TRUE(sched.complete());
+  EXPECT_EQ(sched.horizon(), 0);
+  const FullQuantumYield yields;
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
+  EXPECT_TRUE(dvq.complete());
+  EXPECT_EQ(measure_tardiness(sys, dvq).total_subtasks, 0);
+}
+
+TEST(EdgeCases, TaskWithNoSubtasks) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("empty", Weight(1, 8), 0));
+  tasks.push_back(Task::periodic("real", Weight(1, 2), 4));
+  const TaskSystem sys(std::move(tasks), 1);
+  EXPECT_EQ(sys.task(0).num_subtasks(), 0);
+  EXPECT_EQ(sys.task(0).max_deadline(), 0);
+  const SlotSchedule sched = schedule_sfq(sys);
+  EXPECT_TRUE(sched.complete());
+}
+
+TEST(EdgeCases, MoreProcessorsThanWork) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("T", Weight(1, 4), 8));
+  const TaskSystem sys(std::move(tasks), 16);
+  const SlotSchedule sched = schedule_sfq(sys);
+  EXPECT_TRUE(sched.complete());
+  EXPECT_EQ(measure_tardiness(sys, sched).max_ticks, 0);
+}
+
+// --------------------------------------------------------------- yields
+
+TEST(EdgeCases, YieldModelContracts) {
+  EXPECT_THROW((void)FixedYield(kQuantum), ContractViolation);
+  EXPECT_THROW((void)BernoulliYield(1, 3, 2, kTick, kQuantum),
+               ContractViolation);  // p > 1
+  EXPECT_THROW((void)BernoulliYield(1, 1, 2, kQuantum, kTick),
+               ContractViolation);  // min > max
+  ScriptedYield s;
+  EXPECT_THROW(s.set(SubtaskRef{0, 0}, Time()), ContractViolation);
+}
+
+TEST(EdgeCases, CheckedCostCatchesBadModels) {
+  // A model returning 0 must be caught at the engine boundary.
+  class BadModel final : public YieldModel {
+    Time cost(const TaskSystem&, const SubtaskRef&) const override {
+      return Time();
+    }
+  };
+  const TaskSystem sys = fig1_periodic();
+  const BadModel bad;
+  EXPECT_THROW((void)schedule_dvq(sys, bad), ContractViolation);
+}
+
+// -------------------------------------------------------------- rendering
+
+TEST(EdgeCases, RenderClippingPaths) {
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule sched = schedule_sfq(sys);
+  RenderOptions opts;
+  opts.max_slots = 3;
+  const std::string out = render_slot_schedule(sys, sched, opts);
+  // Row width = 3 slots between the pipes.
+  const auto pipe = out.find('|');
+  ASSERT_NE(pipe, std::string::npos);
+  EXPECT_EQ(out.find('|', pipe + 1) - pipe - 1, 3u);
+
+  const FullQuantumYield yields;
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
+  RenderOptions dopts;
+  dopts.max_slots = 2;
+  dopts.chars_per_slot = 4;
+  const std::string dout = render_dvq_schedule(sys, dvq, dopts);
+  EXPECT_NE(dout.find("P0"), std::string::npos);
+  EXPECT_THROW((void)render_dvq_schedule(sys, dvq, {true, 1, 0}),
+               ContractViolation);  // chars_per_slot < 2
+}
+
+TEST(EdgeCases, SvgClipping) {
+  const TaskSystem sys = fig6_system();
+  SvgOptions opts;
+  opts.max_slots = 2;
+  opts.show_windows = false;
+  const std::string svg =
+      render_slot_schedule_svg(sys, schedule_sfq(sys), opts);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("stroke-dasharray"), std::string::npos);  // no windows
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(EdgeCases, TableWithoutHeader) {
+  TextTable t;
+  t.row({"a", "bb"});
+  t.row({"ccc", "d"});
+  const std::string out = t.str();
+  EXPECT_EQ(out.find("---"), std::string::npos);  // no separator
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+// ------------------------------------------------------------- summaries
+
+TEST(EdgeCases, SummaryStringsMentionEssentials) {
+  const TaskSystem sys = fig6_system();
+  const std::string s = sys.summary();
+  EXPECT_NE(s.find("M=2"), std::string::npos);
+  EXPECT_NE(s.find("util=2"), std::string::npos);
+  std::ostringstream os;
+  os << SubtaskRef{3, 1};
+  EXPECT_EQ(os.str(), "(task 3, seq 1)");
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,72 @@
+// Golden-snapshot tests for the figure reproductions: every scheduler in
+// this library is deterministic, so the rendered paper figures must be
+// byte-identical across runs and refactors.  If a change legitimately
+// alters a schedule (e.g. a new tie-break), the goldens below must be
+// updated *consciously*, alongside EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "dvq/dvq_scheduler.hpp"
+#include "io/render.hpp"
+#include "sched/pdb_scheduler.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Golden, Fig2aSfqSchedule) {
+  const TaskSystem sys = fig6_system();
+  const std::string expected =
+      "      0    5\n"
+      "   A |.1....|\n"
+      "   B |...1..|\n"
+      "   C |....0.|\n"
+      "   D |0.0.1.|\n"
+      "   E |1.1..0|\n"
+      "   F |.0.0.1|\n"
+      "(digits = executing subtask's processor; '.' = pending window)";
+  EXPECT_EQ(render_slot_schedule(sys, schedule_sfq(sys)), expected);
+}
+
+TEST(Golden, Fig2cPdbSchedule) {
+  // B_1/C_1 usurp slot 2; F_2 lands in slot 4 (one quantum late).
+  const TaskSystem sys = fig6_system();
+  const std::string expected =
+      "      0    5\n"
+      "   A |.1....|\n"
+      "   B |..0...|\n"
+      "   C |..1...|\n"
+      "   D |0..01.|\n"
+      "   E |1..1.0|\n"
+      "   F |.0..01|\n"
+      "(digits = executing subtask's processor; '.' = pending window)";
+  EXPECT_EQ(render_slot_schedule(sys, schedule_pdb(sys)), expected);
+}
+
+TEST(Golden, Fig2bDvqTimeline) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 8));
+  RenderOptions opts;
+  opts.chars_per_slot = 8;
+  const std::string expected =
+      "      0       1       2       3       4       5       6\n"
+      "P0   |D1======F1====)B1=====)D2=====)F2=====)E3=====) |\n"
+      "P1   |E1======A1====)C1=====)E2=====) D3======F3======|\n"
+      "(')' = early yield before the slot boundary)";
+  EXPECT_EQ(
+      render_dvq_schedule(sc.system, schedule_dvq(sc.system, *sc.yields),
+                          opts),
+      expected);
+}
+
+TEST(Golden, Fig1WindowParameters) {
+  // The full parameter dump of the Fig. 1(b) IS task.
+  const std::string expected =
+      "task      i  theta      r      d  e      b  grpD\n"
+      "T         1      0      0      2  0      1     4\n"
+      "T         2      0      1      3  1      1     4\n"
+      "T         3      1      3      5  3      0     5\n";
+  EXPECT_EQ(describe_subtasks(fig1_intra_sporadic()), expected);
+}
+
+}  // namespace
+}  // namespace pfair

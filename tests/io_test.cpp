@@ -1,0 +1,100 @@
+// Tests for the rendering / table / CSV helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dvq/dvq_scheduler.hpp"
+#include "io/csv.hpp"
+#include "io/render.hpp"
+#include "io/table.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Render, SlotScheduleShowsPlacementsAndWindows) {
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule sched = schedule_sfq(sys);
+  const std::string out = render_slot_schedule(sys, sched);
+  // One row per task, named.
+  for (const Task& t : sys.tasks()) {
+    EXPECT_NE(out.find(t.name() + " |"), std::string::npos) << out;
+  }
+  // Processor digits appear.
+  EXPECT_NE(out.find('0'), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(Render, DvqTimelineMarksEarlyYields) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 4));
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields);
+  RenderOptions opts;
+  opts.chars_per_slot = 8;
+  const std::string out = render_dvq_schedule(sc.system, sched, opts);
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+  EXPECT_NE(out.find(')'), std::string::npos);  // early-yield marker
+  EXPECT_NE(out.find("A1"), std::string::npos);
+}
+
+TEST(Render, DescribeSubtasksListsParameters) {
+  const std::string out = describe_subtasks(fig1_periodic());
+  EXPECT_NE(out.find("theta"), std::string::npos);
+  EXPECT_NE(out.find("grpD"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "12345"});
+  const std::string out = t.str();
+  std::istringstream is(out);
+  std::string line1, sep, line3, line4;
+  std::getline(is, line1);
+  std::getline(is, sep);
+  std::getline(is, line3);
+  std::getline(is, line4);
+  EXPECT_EQ(line3.size(), line4.size());
+  EXPECT_NE(sep.find("---"), std::string::npos);
+}
+
+TEST(Table, RowWidthChecked) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(std::int64_t{42}), "42");
+  EXPECT_EQ(cell(1.5, 2), "1.50");
+  EXPECT_EQ(cell_ratio(1, 2, 3), "0.500");
+  EXPECT_THROW((void)cell_ratio(1, 0), ContractViolation);
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter w;
+  w.header({"x", "y"});
+  w.row({"1", "2"});
+  w.row({"3", "4,5"});
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,\"4,5\"\n");
+}
+
+TEST(Csv, RowWidthChecked) {
+  CsvWriter w;
+  w.header({"x", "y"});
+  EXPECT_THROW(w.row({"1"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfair

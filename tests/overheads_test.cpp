@@ -1,0 +1,122 @@
+// Tests for overhead accounting (weight inflation) plus whole-system
+// stress and determinism checks.
+#include <gtest/gtest.h>
+
+#include "analysis/overheads.hpp"
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Overheads, BudgetFormula) {
+  // util 3/2 on M = 2: utilization slack 1 - 3/4 = 1/4; heaviest weight
+  // 3/4 leaves slack 1/4 too.
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(3, 4), 8));
+  tasks.push_back(Task::periodic("B", Weight(3, 4), 8));
+  const TaskSystem sys(std::move(tasks), 2);
+  EXPECT_EQ(overhead_budget(sys), Rational(1, 4));
+}
+
+TEST(Overheads, BudgetLimitedByHeaviestTask) {
+  // Low utilization but one near-unit task: the task cap dominates.
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(9, 10), 10));
+  const TaskSystem sys(std::move(tasks), 4);
+  EXPECT_EQ(overhead_budget(sys), Rational(1, 10));
+}
+
+TEST(Overheads, FullyUtilizedHasZeroBudget) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(1, 1), 4));
+  const TaskSystem sys(std::move(tasks), 1);
+  EXPECT_EQ(overhead_budget(sys), Rational(0));
+}
+
+TEST(Overheads, InflationScalesWeights) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(1, 2), 12));
+  tasks.push_back(Task::periodic("B", Weight(1, 4), 12));
+  const TaskSystem sys(std::move(tasks), 2);
+  const TaskSystem fat = inflate_for_overheads(sys, Rational(1, 5), 20);
+  // 1/2 / (4/5) = 5/8; 1/4 / (4/5) = 5/16.
+  EXPECT_EQ(fat.task(0).weight().value(), Rational(5, 8));
+  EXPECT_EQ(fat.task(1).weight().value(), Rational(5, 16));
+  EXPECT_TRUE(fat.feasible());
+}
+
+TEST(Overheads, OverBudgetRejected) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(3, 4), 8));
+  const TaskSystem sys(std::move(tasks), 1);
+  EXPECT_THROW((void)inflate_for_overheads(sys, Rational(1, 2), 16),
+               ContractViolation);
+}
+
+TEST(Overheads, InflatedSystemsStillScheduleCleanly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(9, 4);  // 75% load: budget >= 1/4 possible
+    cfg.weights = WeightClass::kLight;
+    cfg.horizon = 16;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const Rational budget = overhead_budget(sys);
+    ASSERT_GT(budget, Rational(0)) << "seed " << seed;
+    const Rational f = budget / Rational(2);
+    const TaskSystem fat = inflate_for_overheads(sys, f, 24);
+    ASSERT_TRUE(fat.feasible());
+    const SlotSchedule sched = schedule_sfq(fat);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    EXPECT_TRUE(check_slot_schedule(fat, sched).valid()) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------- stress/determinism
+
+TEST(Stress, LargeSystemLongHorizon) {
+  GeneratorConfig cfg;
+  cfg.processors = 8;
+  cfg.target_util = Rational(8);
+  cfg.horizon = 120;
+  cfg.seed = 77;
+  const TaskSystem sys = generate_periodic(cfg);
+  ASSERT_GT(sys.total_subtasks(), 500);
+
+  const SlotSchedule sfq = schedule_sfq(sys);
+  ASSERT_TRUE(sfq.complete());
+  EXPECT_EQ(measure_tardiness(sys, sfq).max_ticks, 0);
+
+  const BernoulliYield yields(9, 1, 2, Time::ticks(kTicksPerSlot / 2),
+                              kQuantum - kTick);
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
+  ASSERT_TRUE(dvq.complete());
+  EXPECT_LT(measure_tardiness(sys, dvq).max_ticks, kTicksPerSlot);
+}
+
+TEST(Stress, DvqDeterministicAcrossRuns) {
+  GeneratorConfig cfg;
+  cfg.processors = 4;
+  cfg.target_util = Rational(4);
+  cfg.horizon = 24;
+  cfg.seed = 31;
+  const TaskSystem sys = generate_periodic(cfg);
+  const BernoulliYield yields(5, 1, 2, kTick, kQuantum - kTick);
+  const DvqSchedule a = schedule_dvq(sys, yields);
+  const DvqSchedule b = schedule_dvq(sys, yields);
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      ASSERT_EQ(a.placement(ref).start, b.placement(ref).start);
+      ASSERT_EQ(a.placement(ref).proc, b.placement(ref).proc);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfair

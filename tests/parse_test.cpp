@@ -1,0 +1,103 @@
+// Tests for the task-file parser behind the pfairsim CLI.
+#include <gtest/gtest.h>
+
+#include "analysis/tardiness.hpp"
+#include "io/parse.hpp"
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Parse, MinimalFile) {
+  const ParsedSystem p = parse_task_string(
+      "processors 2\n"
+      "task a 1/2\n"
+      "task b 1/2\n");
+  EXPECT_EQ(p.processors, 2);
+  ASSERT_EQ(p.tasks.size(), 2u);
+  EXPECT_EQ(p.tasks[0].name, "a");
+  EXPECT_EQ(p.tasks[0].weight, Weight(1, 2));
+  EXPECT_EQ(p.tasks[0].jobs, -1);
+}
+
+TEST(Parse, CommentsAndBlankLines) {
+  const ParsedSystem p = parse_task_string(
+      "# header comment\n"
+      "\n"
+      "processors 1   # trailing\n"
+      "   task x 3/4  # also trailing\n");
+  EXPECT_EQ(p.processors, 1);
+  ASSERT_EQ(p.tasks.size(), 1u);
+  EXPECT_EQ(p.tasks[0].weight, Weight(3, 4));
+}
+
+TEST(Parse, OptionsPhaseAndJobs) {
+  const ParsedSystem p = parse_task_string(
+      "processors 2\n"
+      "horizon 30\n"
+      "task a 1/3 phase=4\n"
+      "task b 2/5 jobs=3 phase=1\n");
+  EXPECT_EQ(p.horizon, 30);
+  EXPECT_EQ(p.tasks[0].phase, 4);
+  EXPECT_EQ(p.tasks[1].jobs, 3);
+  EXPECT_EQ(p.tasks[1].phase, 1);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      (void)parse_task_string(text);
+      FAIL() << "expected failure for: " << text;
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("processors 2\nbogus line\n", "line 2");
+  expect_error("processors 2\ntask a 5/4\n", "outside");
+  expect_error("processors 2\ntask a 1/2 color=red\n", "unknown option");
+  expect_error("processors 2\ntask a one/2\n", "bad weight");
+  expect_error("processors 0\ntask a 1/2\n", "processor count");
+  expect_error("task a 1/2\n", "missing 'processors'");
+  expect_error("processors 2\n", "no tasks");
+}
+
+TEST(Parse, EffectiveHorizonIsTwoHyperperiods) {
+  const ParsedSystem p = parse_task_string(
+      "processors 1\n"
+      "task a 1/4\n"
+      "task b 1/6\n");
+  EXPECT_EQ(p.effective_horizon(), 24);  // 2 * lcm(4,6)
+}
+
+TEST(Parse, BuildProducesSchedulableSystem) {
+  const ParsedSystem p = parse_task_string(
+      "processors 2\n"
+      "task a 1/2\n"
+      "task b 1/2\n"
+      "task c 2/3 phase=3\n"
+      "task d 1/6 jobs=2\n");
+  const TaskSystem sys = p.build();
+  EXPECT_EQ(sys.processors(), 2);
+  EXPECT_EQ(sys.num_tasks(), 4);
+  // Finite task d has exactly jobs * e subtasks.
+  EXPECT_EQ(sys.task(3).num_subtasks(), 2);
+  // Phased task c's first release is at its phase.
+  EXPECT_EQ(sys.task(2).subtask(0).release, 3);
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  EXPECT_EQ(measure_tardiness(sys, sched).max_ticks, 0);
+}
+
+TEST(Parse, HorizonOverrideRespected) {
+  const ParsedSystem p = parse_task_string(
+      "processors 1\n"
+      "horizon 8\n"
+      "task a 1/2\n");
+  const TaskSystem sys = p.build();
+  EXPECT_EQ(sys.task(0).num_subtasks(), 4);  // releases 0,2,4,6 < 8
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,207 @@
+// Tests for algorithm PD^B (Sec. 3.1): the EB/PB/DB partition, Table 1
+// decision order, the Fig. 2(c)/Fig. 6(a) walkthrough, and Theorem 2
+// (tardiness <= 1 quantum) as a property sweep.
+#include <gtest/gtest.h>
+
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "sched/pdb_scheduler.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Pdb, Fig2cWalkthrough) {
+  // Under adversarial PD^B the Fig. 2 system reproduces the paper's
+  // Fig. 2(c)/Fig. 6(a) schedule: B_1 and C_1 usurp slot 2 (eligibility
+  // blocking of D_2, E_2, F_2), and F_2 ends up missing its deadline by
+  // exactly one quantum.
+  const TaskSystem sys = fig6_system();
+  PdbTrace trace;
+  PdbOptions opts;
+  opts.trace = &trace;
+  const SlotSchedule sched = schedule_pdb(sys, opts);
+  ASSERT_TRUE(sched.complete());
+
+  const SubtaskRef b1{1, 0}, c1{2, 0}, d2{3, 1}, e2{4, 1}, f2{5, 1};
+  EXPECT_EQ(sched.placement(b1).slot, 2);
+  EXPECT_EQ(sched.placement(c1).slot, 2);
+  EXPECT_EQ(sched.placement(d2).slot, 3);
+  EXPECT_EQ(sched.placement(e2).slot, 3);
+  EXPECT_EQ(sched.placement(f2).slot, 4);  // deadline 4 -> tardiness 1
+
+  const TardinessSummary sum = measure_tardiness(sys, sched);
+  EXPECT_EQ(sum.max_ticks, kTicksPerSlot);
+  EXPECT_EQ(sum.worst, f2);
+  // Valid once the one-quantum allowance of Theorem 2 is granted.
+  EXPECT_FALSE(check_slot_schedule(sys, sched).valid());
+  EXPECT_TRUE(check_slot_schedule(sys, sched, 1).valid());
+}
+
+TEST(Pdb, BenignModeEqualsPd2OnFig2) {
+  // With the mildest legal resolution of Table 1's nondeterminism the
+  // Fig. 2 system schedules exactly as PD2 — no misses.
+  const TaskSystem sys = fig6_system();
+  PdbOptions opts;
+  opts.mode = PdbMode::kBenign;
+  const SlotSchedule pdb = schedule_pdb(sys, opts);
+  const SlotSchedule pd2 = schedule_sfq(sys);
+  ASSERT_TRUE(pdb.complete());
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      EXPECT_EQ(pdb.placement(SubtaskRef{k, s}).slot,
+                pd2.placement(SubtaskRef{k, s}).slot);
+    }
+  }
+}
+
+TEST(Pdb, TraceRecordsPartitionAndDecisions) {
+  const TaskSystem sys = fig6_system();
+  PdbTrace trace;
+  PdbOptions opts;
+  opts.trace = &trace;
+  const SlotSchedule sched = schedule_pdb(sys, opts);
+  ASSERT_TRUE(sched.complete());
+  EXPECT_EQ(static_cast<std::int64_t>(trace.decisions.size()),
+            sys.total_subtasks());
+
+  // At slot 0 every ready subtask is in EB (all eligibility times are 0).
+  ASSERT_FALSE(trace.slots.empty());
+  EXPECT_EQ(trace.slots[0].slot, 0);
+  EXPECT_EQ(trace.slots[0].eb, 6);
+  EXPECT_EQ(trace.slots[0].pb, 0);
+  EXPECT_EQ(trace.slots[0].db, 0);
+
+  // Decisions carry consistent slot/decision numbering.
+  for (const PdbDecision& d : trace.decisions) {
+    EXPECT_GE(d.decision, 1);
+    EXPECT_LE(d.decision, sys.processors());
+    EXPECT_EQ(sched.placement(d.chosen).slot, d.slot);
+  }
+
+  // The slot-2 usurpation came from DB (B_1 and C_1).
+  int db_at_2 = 0;
+  for (const PdbDecision& d : trace.decisions) {
+    if (d.slot == 2 && d.from == PdbSet::kDB) ++db_at_2;
+  }
+  EXPECT_EQ(db_at_2, 2);
+}
+
+TEST(Pdb, PbSetMembersHavePredecessorsInPreviousSlot) {
+  // Any subtask ever classified PB must have e < slot and its predecessor
+  // scheduled exactly one slot earlier.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.horizon = 20;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    PdbTrace trace;
+    PdbOptions opts;
+    opts.trace = &trace;
+    const SlotSchedule sched = schedule_pdb(sys, opts);
+    ASSERT_TRUE(sched.complete());
+    for (const PdbDecision& d : trace.decisions) {
+      if (d.from != PdbSet::kPB) continue;
+      const Subtask& sub = sys.subtask(d.chosen);
+      EXPECT_LT(sub.eligible, d.slot);
+      ASSERT_GT(d.chosen.seq, 0);
+      EXPECT_EQ(sched.placement(
+                    SubtaskRef{d.chosen.task,
+                               static_cast<std::int32_t>(d.chosen.seq - 1)})
+                    .slot,
+                d.slot - 1);
+    }
+  }
+}
+
+// ------------------------------------------------------ Theorem 2 sweeps
+
+struct PdbCase {
+  int processors;
+  WeightClass cls;
+  std::uint64_t seed;
+};
+
+class Theorem2Sweep : public ::testing::TestWithParam<PdbCase> {};
+
+TEST_P(Theorem2Sweep, PdbTardinessAtMostOneQuantum) {
+  const PdbCase c = GetParam();
+  GeneratorConfig cfg;
+  cfg.processors = c.processors;
+  cfg.target_util = Rational(c.processors);
+  cfg.horizon = 30;
+  cfg.weights = c.cls;
+  cfg.seed = c.seed;
+  const TaskSystem sys = generate_periodic(cfg);
+
+  for (const PdbMode mode : {PdbMode::kAdversarial, PdbMode::kBenign}) {
+    PdbOptions opts;
+    opts.mode = mode;
+    const SlotSchedule sched = schedule_pdb(sys, opts);
+    ASSERT_TRUE(sched.complete());
+    const TardinessSummary sum = measure_tardiness(sys, sched);
+    EXPECT_LE(sum.max_ticks, kTicksPerSlot) << sys.summary();
+    EXPECT_TRUE(check_slot_schedule(sys, sched, 1).valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem2Sweep,
+    ::testing::Values(PdbCase{2, WeightClass::kMixed, 41},
+                      PdbCase{2, WeightClass::kHeavy, 42},
+                      PdbCase{3, WeightClass::kMixed, 43},
+                      PdbCase{3, WeightClass::kLight, 44},
+                      PdbCase{4, WeightClass::kMixed, 45},
+                      PdbCase{4, WeightClass::kHeavy, 46},
+                      PdbCase{4, WeightClass::kUniform, 47},
+                      PdbCase{8, WeightClass::kMixed, 48}),
+    [](const ::testing::TestParamInfo<PdbCase>& param_info) {
+      const PdbCase& c = param_info.param;
+      return "M" + std::to_string(c.processors) + "_" + to_string(c.cls) +
+             "_seed" + std::to_string(c.seed);
+    });
+
+TEST(Pdb, Theorem2ManySeeds) {
+  for (std::uint64_t seed = 200; seed < 240; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 4;
+    cfg.target_util = Rational(4);
+    cfg.horizon = 24;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const SlotSchedule sched = schedule_pdb(sys);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    ASSERT_LE(measure_tardiness(sys, sched).max_ticks, kTicksPerSlot)
+        << "seed " << seed << "\n" << sys.summary();
+  }
+}
+
+TEST(Pdb, Theorem2HoldsForGisSystems) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.horizon = 24;
+    cfg.seed = seed;
+    const TaskSystem gis = drop_subtasks(
+        add_is_jitter(generate_periodic(cfg), 2, 1, 4, seed + 70), 1, 6,
+        seed + 80);
+    const SlotSchedule sched = schedule_pdb(gis);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    EXPECT_LE(measure_tardiness(gis, sched).max_ticks, kTicksPerSlot)
+        << "seed " << seed;
+  }
+}
+
+TEST(Pdb, SetNamesForTraces) {
+  EXPECT_STREQ(to_string(PdbSet::kEB), "EB");
+  EXPECT_STREQ(to_string(PdbSet::kPB), "PB");
+  EXPECT_STREQ(to_string(PdbSet::kDB), "DB");
+}
+
+}  // namespace
+}  // namespace pfair

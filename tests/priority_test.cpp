@@ -1,0 +1,169 @@
+// Tests for src/sched/priority: the EPDF / PF / PD / PD2 comparators.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sched/priority.hpp"
+#include "tasks/task.hpp"
+
+namespace pfair {
+namespace {
+
+TaskSystem two_task_system(Weight wa, Weight wb, std::int64_t horizon,
+                           int m = 2) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", wa, horizon));
+  tasks.push_back(Task::periodic("B", wb, horizon));
+  return TaskSystem(std::move(tasks), m);
+}
+
+TEST(Priority, EarlierDeadlineWinsUnderEveryPolicy) {
+  // A = 1/2 (d(A_1) = 2), B = 1/6 (d(B_1) = 6).
+  const TaskSystem sys = two_task_system(Weight(1, 2), Weight(1, 6), 6);
+  const SubtaskRef a{0, 0}, b{1, 0};
+  for (const Policy p :
+       {Policy::kEpdf, Policy::kPf, Policy::kPd, Policy::kPd2}) {
+    const PriorityOrder order(sys, p);
+    EXPECT_TRUE(order.strictly_higher(a, b)) << to_string(p);
+    EXPECT_FALSE(order.strictly_higher(b, a)) << to_string(p);
+    EXPECT_TRUE(order.at_least(a, b)) << to_string(p);
+  }
+}
+
+TEST(Priority, EpdfTreatsDeadlineTiesAsTies) {
+  // A = 3/4 and B = 2/4: d(A_1) = 2 = d(B_1), but b(A_1) = 1, b(B_1) = 0.
+  const TaskSystem sys = two_task_system(Weight(3, 4), Weight(2, 4), 4);
+  const SubtaskRef a{0, 0}, b{1, 0};
+  EXPECT_EQ(PriorityOrder(sys, Policy::kEpdf).compare(a, b), 0);
+  // PD2 breaks the tie by b-bit.
+  EXPECT_TRUE(PriorityOrder(sys, Policy::kPd2).strictly_higher(a, b));
+  // PF breaks it the same way on the first bit.
+  EXPECT_TRUE(PriorityOrder(sys, Policy::kPf).strictly_higher(a, b));
+}
+
+TEST(Priority, Pd2GroupDeadlineBreaksBBitTies) {
+  // A = 3/4 (D(A_1) = 4) vs B = 7/8 (d(B_1) = 2, b = 1, D(B_1) = 8):
+  // equal deadline 2, equal b-bit 1, B's longer cascade wins.
+  const TaskSystem sys = two_task_system(Weight(3, 4), Weight(7, 8), 8);
+  const SubtaskRef a{0, 0}, b{1, 0};
+  ASSERT_EQ(sys.subtask(a).deadline, sys.subtask(b).deadline);
+  ASSERT_TRUE(sys.subtask(a).bbit && sys.subtask(b).bbit);
+  ASSERT_GT(sys.subtask(b).group_deadline, sys.subtask(a).group_deadline);
+  EXPECT_TRUE(PriorityOrder(sys, Policy::kPd2).strictly_higher(b, a));
+}
+
+TEST(Priority, HeavyBeatsLightOnBBitTie) {
+  // A light task with b = 1 has group deadline 0 and loses to any heavy
+  // contender with b = 1 and the same deadline.  A = 2/5: d(A_1) = 3,
+  // b = 1, D = 0.  B = 2/3 with theta... use B = 4/6: d(B_1) = 2.  Try
+  // A = 2/6 = 1/3 (d = 3, b = 0) — need b = 1: A = 2/5 (d=3, b=1) and
+  // B = 5/7? d(B_1) = ceil(7/5) = 2.  Use index 2 of B = 2/3:
+  // d(B_2) = 3, b(B_2) = 0.  Instead: B = 5/8, d(B_1) = 2... choose
+  // B = 7/10: d(B_1) = ceil(10/7) = 2.  Simplest matching pair:
+  // A = 2/5 vs B = 4/7 at index 2: d(B_2) = ceil(2*7/4) = 4.  Fall back
+  // to constructed GIS with offsets below.
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("L", Weight(2, 5), 5));     // L_1: [0,3) b=1
+  tasks.push_back(Task::intra_sporadic("H", Weight(3, 4), {1}, 3));
+  // H_1: [1,3), b = 1, group deadline 1 + 4 = 5.
+  const TaskSystem sys(std::move(tasks), 2);
+  const SubtaskRef l{0, 0}, h{1, 0};
+  ASSERT_EQ(sys.subtask(l).deadline, 3);
+  ASSERT_EQ(sys.subtask(h).deadline, 3);
+  ASSERT_TRUE(sys.subtask(l).bbit);
+  ASSERT_TRUE(sys.subtask(h).bbit);
+  EXPECT_TRUE(PriorityOrder(sys, Policy::kPd2).strictly_higher(h, l));
+}
+
+TEST(Priority, PfLexicographicBitComparison) {
+  // A = 3/4: bits 1,1,0,...  B = 7/8: bits 1,1,1,1,1,1,0.  Equal first
+  // deadline (2) and equal successor deadlines (3) — at depth 2 both have
+  // bit 1; A's third subtask has d = 4 vs B's d = 4... walk until they
+  // differ; B (denser) must win eventually.
+  const TaskSystem sys = two_task_system(Weight(3, 4), Weight(7, 8), 8);
+  const SubtaskRef a{0, 0}, b{1, 0};
+  EXPECT_TRUE(PriorityOrder(sys, Policy::kPf).strictly_higher(b, a));
+}
+
+TEST(Priority, PfTrueTieOnIdenticalWeights) {
+  const TaskSystem sys = two_task_system(Weight(1, 2), Weight(1, 2), 4);
+  EXPECT_EQ(
+      PriorityOrder(sys, Policy::kPf).compare(SubtaskRef{0, 0},
+                                              SubtaskRef{1, 0}),
+      0);
+}
+
+TEST(Priority, PdRefinesPd2ByWeight) {
+  // Two heavy tasks with identical (d, b, D) prefixes but different
+  // weights would tie under PD2; PD prefers the heavier.  Same weight
+  // expressed differently must still tie under PD.
+  const TaskSystem same = two_task_system(Weight(1, 2), Weight(2, 4), 4);
+  EXPECT_EQ(PriorityOrder(same, Policy::kPd).compare(SubtaskRef{0, 0},
+                                                     SubtaskRef{1, 0}),
+            0);
+}
+
+TEST(Priority, HigherIsStrictTotalOrder) {
+  const TaskSystem sys = two_task_system(Weight(1, 2), Weight(1, 2), 4);
+  const PriorityOrder order(sys, Policy::kPd2);
+  const SubtaskRef a{0, 0}, b{1, 0};
+  // compare() ties, but higher() breaks by task id deterministically.
+  EXPECT_EQ(order.compare(a, b), 0);
+  EXPECT_TRUE(order.higher(a, b));
+  EXPECT_FALSE(order.higher(b, a));
+  EXPECT_FALSE(order.higher(a, a));
+}
+
+TEST(Priority, ComparatorConsistencySampled) {
+  // compare() must be antisymmetric and transitive over a random pool of
+  // subtasks under every policy.
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(3, 4), 12));
+  tasks.push_back(Task::periodic("B", Weight(8, 11), 11));
+  tasks.push_back(Task::periodic("C", Weight(2, 5), 10));
+  tasks.push_back(Task::periodic("D", Weight(1, 2), 12));
+  tasks.push_back(Task::periodic("E", Weight(1, 6), 12));
+  const TaskSystem sys(std::move(tasks), 2);
+
+  std::vector<SubtaskRef> pool;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      pool.push_back(SubtaskRef{k, s});
+    }
+  }
+  for (const Policy p :
+       {Policy::kEpdf, Policy::kPf, Policy::kPd, Policy::kPd2}) {
+    const PriorityOrder order(sys, p);
+    for (const SubtaskRef& x : pool) {
+      EXPECT_EQ(order.compare(x, x), 0);
+      for (const SubtaskRef& y : pool) {
+        EXPECT_EQ(order.compare(x, y), -order.compare(y, x))
+            << to_string(p) << " " << x << " vs " << y;
+      }
+    }
+    Rng rng(99);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto& x = pool[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+      const auto& y = pool[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+      const auto& z = pool[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+      if (order.compare(x, y) <= 0 && order.compare(y, z) <= 0) {
+        EXPECT_LE(order.compare(x, z), 0)
+            << to_string(p) << " transitivity " << x << y << z;
+      }
+    }
+  }
+}
+
+TEST(Priority, PolicyNames) {
+  EXPECT_STREQ(to_string(Policy::kEpdf), "EPDF");
+  EXPECT_STREQ(to_string(Policy::kPf), "PF");
+  EXPECT_STREQ(to_string(Policy::kPd), "PD");
+  EXPECT_STREQ(to_string(Policy::kPd2), "PD2");
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,177 @@
+// Tests for Sec. 3.2: Aligned/Olapped/Free classification (Fig. 4), the
+// S_B construction and Lemmas 3-5, plus the Lemma 4 tardiness accounting.
+#include <gtest/gtest.h>
+
+#include "analysis/sb_construction.hpp"
+#include "analysis/tardiness.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+DvqPlacement placement_at(Time start, Time cost) {
+  DvqPlacement p;
+  p.start = start;
+  p.cost = cost;
+  p.proc = 0;
+  p.placed = true;
+  return p;
+}
+
+TEST(ChargedFree, ClassifyPlacementCases) {
+  // Aligned: starts on a boundary.
+  EXPECT_EQ(classify_placement(placement_at(Time::slots(3), kQuantum)),
+            SubtaskClass::kAligned);
+  EXPECT_EQ(classify_placement(
+                placement_at(Time::slots(3), Time::ticks(100))),
+            SubtaskClass::kAligned);
+  // Olapped: starts mid-slot, straddles the next boundary, ends mid-slot.
+  EXPECT_EQ(classify_placement(placement_at(
+                Time::slots_frac(3, 1, 2), kQuantum)),
+            SubtaskClass::kOlapped);
+  // Free: starts and ends strictly inside one slot.
+  EXPECT_EQ(classify_placement(placement_at(Time::slots_frac(3, 1, 4),
+                                            Time::ticks(1000))),
+            SubtaskClass::kFree);
+  // Completing exactly on the next boundary is Free, not Olapped (the
+  // subtask is not "in the middle of execution at a boundary").
+  EXPECT_EQ(classify_placement(placement_at(Time::slots_frac(3, 1, 2),
+                                            Time::ticks(kTicksPerSlot / 2))),
+            SubtaskClass::kFree);
+}
+
+TEST(ChargedFree, FullQuantaAreAllAligned) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(2);
+  cfg.horizon = 12;
+  cfg.seed = 6;
+  const TaskSystem sys = generate_periodic(cfg);
+  const FullQuantumYield yields;
+  const DvqSchedule sched = schedule_dvq(sys, yields);
+  const Classification cls = classify(sys, sched);
+  EXPECT_EQ(cls.aligned, sys.total_subtasks());
+  EXPECT_EQ(cls.olapped, 0);
+  EXPECT_EQ(cls.free, 0);
+  EXPECT_EQ(cls.unplaced, 0);
+}
+
+TEST(ChargedFree, Fig2ScenarioHasOlappedSubtasks) {
+  const FigureScenario sc = fig2_scenario(kTick);
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields);
+  const Classification cls = classify(sc.system, sched);
+  // B_1 and C_1 start at 2 - delta and run a full quantum: Olapped.
+  EXPECT_GE(cls.olapped, 2);
+  EXPECT_TRUE(cls.charged(SubtaskRef{1, 0}));
+  EXPECT_EQ(cls.of(SubtaskRef{1, 0}), SubtaskClass::kOlapped);
+  // A_1 started on a boundary: Aligned.
+  EXPECT_EQ(cls.of(SubtaskRef{0, 0}), SubtaskClass::kAligned);
+}
+
+TEST(SbConstruction, Fig2StructureAndLemma3) {
+  const FigureScenario sc = fig2_scenario(kTick);
+  const DvqSchedule dvq = schedule_dvq(sc.system, *sc.yields);
+  ASSERT_TRUE(dvq.complete());
+  const SbConstruction sbc = build_sb(sc.system, dvq);
+  EXPECT_TRUE(sbc.lemma3_holds);
+  EXPECT_TRUE(sbc.structure_valid) << sbc.failure;
+  // tau' contains exactly the charged subtasks.
+  EXPECT_EQ(sbc.charged_system.total_subtasks(),
+            sbc.classes.aligned + sbc.classes.olapped);
+  // Every S_B start is integral (it is an SFQ-style schedule).
+  for (std::int32_t k = 0; k < sbc.charged_system.num_tasks(); ++k) {
+    for (std::int32_t s = 0;
+         s < sbc.charged_system.task(k).num_subtasks(); ++s) {
+      const DvqPlacement& p = sbc.sb.placement(SubtaskRef{k, s});
+      ASSERT_TRUE(p.placed);
+      EXPECT_TRUE(p.start.is_slot_boundary());
+    }
+  }
+}
+
+TEST(SbConstruction, OlappedSubtasksArePostponedToTheirBoundary) {
+  const FigureScenario sc = fig2_scenario(kTick);
+  const DvqSchedule dvq = schedule_dvq(sc.system, *sc.yields);
+  const SbConstruction sbc = build_sb(sc.system, dvq);
+  // B_1 started at 2 - delta in S_DQ; in S_B it starts at 2.
+  const std::int32_t ns = sbc.new_seq[1][0];
+  ASSERT_GE(ns, 0);
+  EXPECT_EQ(sbc.sb.placement(SubtaskRef{1, ns}).start, Time::slots(2));
+  // Its cost is preserved.
+  EXPECT_EQ(sbc.sb.placement(SubtaskRef{1, ns}).cost,
+            dvq.placement(SubtaskRef{1, 0}).cost);
+}
+
+TEST(SbConstruction, Lemma4HoldsOnFig2) {
+  const FigureScenario sc = fig2_scenario(kTick);
+  const DvqSchedule dvq = schedule_dvq(sc.system, *sc.yields);
+  const SbConstruction sbc = build_sb(sc.system, dvq);
+  const Lemma4Report rep = check_lemma4(sc.system, dvq, sbc);
+  EXPECT_TRUE(rep.holds())
+      << (rep.details.empty() ? "" : rep.details.front());
+  EXPECT_EQ(rep.checked, sc.system.total_subtasks());
+}
+
+TEST(SbConstruction, RandomizedLemmas) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.horizon = 16;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const BernoulliYield yields(seed * 13, 1, 2, Time::ticks(1000),
+                                kQuantum - kTick);
+    const DvqSchedule dvq = schedule_dvq(sys, yields);
+    ASSERT_TRUE(dvq.complete()) << "seed " << seed;
+    const SbConstruction sbc = build_sb(sys, dvq);
+    EXPECT_TRUE(sbc.lemma3_holds) << "seed " << seed;
+    EXPECT_TRUE(sbc.structure_valid) << "seed " << seed << ": "
+                                     << sbc.failure;
+    const Lemma4Report rep = check_lemma4(sys, dvq, sbc);
+    EXPECT_TRUE(rep.holds())
+        << "seed " << seed << ": "
+        << (rep.details.empty() ? "" : rep.details.front());
+  }
+}
+
+TEST(SbConstruction, Theorem1TardinessChain) {
+  // Theorem 1: tardiness of the DVQ run is at most the ceiling of the
+  // tardiness of the constructed S_B run of tau'.
+  for (std::uint64_t seed = 30; seed <= 45; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 2;
+    cfg.target_util = Rational(2);
+    cfg.horizon = 16;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const BernoulliYield yields(seed, 2, 3, kQuantum - kTick,
+                                kQuantum - kTick);
+    const DvqSchedule dvq = schedule_dvq(sys, yields);
+    ASSERT_TRUE(dvq.complete());
+    const SbConstruction sbc = build_sb(sys, dvq);
+    const std::int64_t dvq_tard = measure_tardiness(sys, dvq).max_ticks;
+    const std::int64_t sb_tard =
+        measure_tardiness(sbc.charged_system, sbc.sb).max_ticks;
+    const std::int64_t sb_ceil =
+        (sb_tard + kTicksPerSlot - 1) / kTicksPerSlot * kTicksPerSlot;
+    EXPECT_LE(dvq_tard, sb_ceil) << "seed " << seed;
+  }
+}
+
+TEST(SbConstruction, RequiresCompleteSchedule) {
+  const TaskSystem sys = fig6_system();
+  const DvqSchedule empty(sys);
+  EXPECT_THROW((void)build_sb(sys, empty), ContractViolation);
+}
+
+TEST(ChargedFree, Names) {
+  EXPECT_STREQ(to_string(SubtaskClass::kAligned), "Aligned");
+  EXPECT_STREQ(to_string(SubtaskClass::kOlapped), "Olapped");
+  EXPECT_STREQ(to_string(SubtaskClass::kFree), "Free");
+}
+
+}  // namespace
+}  // namespace pfair

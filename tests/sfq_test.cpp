@@ -1,0 +1,260 @@
+// Tests for the SFQ-model scheduler: exact small schedules, PD2/PF/PD
+// optimality property sweeps, EPDF behaviour, IS/GIS/ER systems.
+#include <gtest/gtest.h>
+
+#include "analysis/lag.hpp"
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+std::vector<SubtaskRef> slot_refs(const SlotSchedule& s, std::int64_t t) {
+  return s.slot_contents(t);
+}
+
+TEST(Sfq, SingleUnitTaskFillsEverySlot) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("T", Weight(1, 1), 5));
+  const TaskSystem sys(std::move(tasks), 1);
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  for (std::int32_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(sched.placement(SubtaskRef{0, s}).slot, s);
+  }
+  EXPECT_TRUE(check_slot_schedule(sys, sched).valid());
+}
+
+TEST(Sfq, Fig2aScheduleShape) {
+  // The paper's Fig. 2(a) system: A,B,C = 1/6 and D,E,F = 1/2 on M = 2.
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  EXPECT_TRUE(check_slot_schedule(sys, sched).valid());
+  EXPECT_EQ(measure_tardiness(sys, sched).max_ticks, 0);
+
+  // Slot 0 must hold D_1 and E_1 (deadline 2 beats deadline 6; tie between
+  // the three weight-1/2 tasks broken by task id).
+  const auto s0 = slot_refs(sched, 0);
+  ASSERT_EQ(s0.size(), 2u);
+  EXPECT_EQ(s0[0], (SubtaskRef{3, 0}));
+  EXPECT_EQ(s0[1], (SubtaskRef{4, 0}));
+  // Slot 1: F_1 (deadline 2) plus the first weight-1/6 task, A_1.
+  const auto s1 = slot_refs(sched, 1);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s1[0], (SubtaskRef{5, 0}));
+  EXPECT_EQ(s1[1], (SubtaskRef{0, 0}));
+  // Slot 2: D_2 and E_2 (released at 2, deadline 4).
+  const auto s2 = slot_refs(sched, 2);
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s2[0], (SubtaskRef{3, 1}));
+  EXPECT_EQ(s2[1], (SubtaskRef{4, 1}));
+  // Every slot is fully used (utilization = M = 2, 12 subtasks, 6 slots).
+  for (std::int64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(slot_refs(sched, t).size(), 2u) << "slot " << t;
+  }
+}
+
+TEST(Sfq, FullUtilizationLeavesNoIdleSlots) {
+  GeneratorConfig cfg;
+  cfg.processors = 3;
+  cfg.target_util = Rational(3);
+  cfg.horizon = 24;
+  cfg.seed = 5;
+  const TaskSystem sys = generate_periodic(cfg);
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  // With util == M and synchronous periodic tasks, PD2 fills every slot
+  // of [0, horizon) — any hole would make some task miss later.
+  for (std::int64_t t = 0; t < cfg.horizon; ++t) {
+    EXPECT_EQ(slot_refs(sched, t).size(), 3u) << "slot " << t;
+  }
+}
+
+TEST(Sfq, DeterministicAcrossRuns) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(7, 4);
+  cfg.seed = 11;
+  const TaskSystem sys = generate_periodic(cfg);
+  const SlotSchedule a = schedule_sfq(sys);
+  const SlotSchedule b = schedule_sfq(sys);
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      EXPECT_EQ(a.placement(SubtaskRef{k, s}).slot,
+                b.placement(SubtaskRef{k, s}).slot);
+    }
+  }
+}
+
+TEST(Sfq, HorizonLimitTruncates) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("T", Weight(1, 2), 20));
+  const TaskSystem sys(std::move(tasks), 1);
+  SfqOptions opts;
+  opts.horizon_limit = 4;
+  const SlotSchedule sched = schedule_sfq(sys, opts);
+  EXPECT_FALSE(sched.complete());
+  const auto rep = check_slot_schedule(sys, sched);
+  EXPECT_FALSE(rep.valid());
+}
+
+// ---------------------------------------------------- optimality properties
+
+struct SweepCase {
+  int processors;
+  WeightClass cls;
+  Rational util;  // as fraction of M applied below
+  std::uint64_t seed;
+};
+
+class OptimalPolicySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(OptimalPolicySweep, NoMissesAtOrBelowFullUtilization) {
+  const SweepCase c = GetParam();
+  GeneratorConfig cfg;
+  cfg.processors = c.processors;
+  cfg.target_util = c.util;
+  cfg.weights = c.cls;
+  cfg.horizon = 36;
+  cfg.seed = c.seed;
+  const TaskSystem sys = generate_periodic(cfg);
+  ASSERT_TRUE(sys.feasible());
+
+  for (const Policy p : {Policy::kPf, Policy::kPd, Policy::kPd2}) {
+    SfqOptions opts;
+    opts.policy = p;
+    const SlotSchedule sched = schedule_sfq(sys, opts);
+    ASSERT_TRUE(sched.complete()) << to_string(p);
+    const ValidityReport rep = check_slot_schedule(sys, sched);
+    EXPECT_TRUE(rep.valid()) << to_string(p) << ": " << rep.str();
+    EXPECT_EQ(measure_tardiness(sys, sched).max_ticks, 0) << to_string(p);
+    // Classical Pfairness: lag stays in (-1, 1).
+    EXPECT_TRUE(is_pfair(sys, sched, cfg.horizon)) << to_string(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimalPolicySweep,
+    ::testing::Values(
+        SweepCase{2, WeightClass::kMixed, Rational(2), 1},
+        SweepCase{2, WeightClass::kHeavy, Rational(2), 2},
+        SweepCase{2, WeightClass::kLight, Rational(2), 3},
+        SweepCase{3, WeightClass::kMixed, Rational(3), 4},
+        SweepCase{3, WeightClass::kHeavy, Rational(3), 5},
+        SweepCase{4, WeightClass::kMixed, Rational(4), 6},
+        SweepCase{4, WeightClass::kUniform, Rational(4), 7},
+        SweepCase{4, WeightClass::kMixed, Rational(7, 2), 8},
+        SweepCase{8, WeightClass::kMixed, Rational(8), 9},
+        SweepCase{2, WeightClass::kUniform, Rational(3, 2), 10},
+        SweepCase{6, WeightClass::kHeavy, Rational(11, 2), 11}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      const SweepCase& c = param_info.param;
+      return "M" + std::to_string(c.processors) + "_" +
+             to_string(c.cls) + "_seed" + std::to_string(c.seed);
+    });
+
+TEST(Sfq, Pd2HandlesManySeedsAtFullUtilization) {
+  for (std::uint64_t seed = 20; seed < 60; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 4;
+    cfg.target_util = Rational(4);
+    cfg.horizon = 24;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    const SlotSchedule sched = schedule_sfq(sys);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    ASSERT_EQ(measure_tardiness(sys, sched).max_ticks, 0)
+        << "seed " << seed << "\n" << sys.summary();
+  }
+}
+
+TEST(Sfq, EpdfMissesForSomeHeavySystem) {
+  // EPDF (no tie-breaks) is suboptimal for M >= 3: some fully-utilized
+  // heavy system must miss a deadline.  PD2 never does on the same
+  // systems (asserted in the sweep above); here we document the gap.
+  bool found_miss = false;
+  for (std::uint64_t seed = 1; seed < 200 && !found_miss; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 4;
+    cfg.target_util = Rational(4);
+    cfg.weights = WeightClass::kHeavy;
+    cfg.horizon = 30;
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    SfqOptions opts;
+    opts.policy = Policy::kEpdf;
+    const SlotSchedule sched = schedule_sfq(sys, opts);
+    if (!sched.complete() || measure_tardiness(sys, sched).max_ticks > 0) {
+      found_miss = true;
+    }
+  }
+  EXPECT_TRUE(found_miss)
+      << "EPDF scheduled every heavy fully-utilized system in the sweep — "
+         "suboptimality not exhibited";
+}
+
+// ------------------------------------------------------ beyond periodic
+
+TEST(Sfq, IntraSporadicJitterStillMeetsDeadlines) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.horizon = 24;
+    cfg.seed = seed;
+    const TaskSystem periodic = generate_periodic(cfg);
+    const TaskSystem is = add_is_jitter(periodic, 3, 1, 3, seed * 7 + 1);
+    const SlotSchedule sched = schedule_sfq(is);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    const ValidityReport rep = check_slot_schedule(is, sched);
+    EXPECT_TRUE(rep.valid()) << "seed " << seed << ": " << rep.str();
+  }
+}
+
+TEST(Sfq, GisDropsStillMeetDeadlines) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.horizon = 24;
+    cfg.seed = seed;
+    const TaskSystem periodic = generate_periodic(cfg);
+    const TaskSystem gis = drop_subtasks(
+        add_is_jitter(periodic, 2, 1, 4, seed + 100), 1, 5, seed + 200);
+    const SlotSchedule sched = schedule_sfq(gis);
+    ASSERT_TRUE(sched.complete()) << "seed " << seed;
+    const ValidityReport rep = check_slot_schedule(gis, sched);
+    EXPECT_TRUE(rep.valid()) << "seed " << seed << ": " << rep.str();
+  }
+}
+
+TEST(Sfq, EarlyReleaseRemainsValidAndCanOnlyHelp) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(2);
+  cfg.horizon = 24;
+  cfg.seed = 3;
+  const TaskSystem sys = generate_periodic(cfg).with_early_release();
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  const ValidityReport rep = check_slot_schedule(sys, sched);
+  EXPECT_TRUE(rep.valid()) << rep.str();
+  EXPECT_EQ(measure_tardiness(sys, sched).max_ticks, 0);
+}
+
+TEST(Sfq, PhasedTasksScheduleAfterTheirPhase) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic_phased("T", Weight(1, 2), 4, 12));
+  const TaskSystem sys(std::move(tasks), 1);
+  const SlotSchedule sched = schedule_sfq(sys);
+  ASSERT_TRUE(sched.complete());
+  EXPECT_GE(sched.placement(SubtaskRef{0, 0}).slot, 4);
+  EXPECT_TRUE(check_slot_schedule(sys, sched).valid());
+}
+
+}  // namespace
+}  // namespace pfair

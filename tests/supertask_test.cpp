@@ -1,0 +1,114 @@
+// Tests for hierarchical Pfair (supertasking).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "super/supertask.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Supertask, InflateWeightFindsLightestCover) {
+  // target 5/12 with periods up to 6: candidates 1/2 (0.5), 3/7... with
+  // max_period 6 the lightest >= 5/12 is 3/7? (not allowed, p<=6):
+  // p=2:1/2, p=3:2/3... p=5: 3/5, p=6: 3/6=1/2; p=12 excluded -> 1/2.
+  EXPECT_EQ(inflate_weight(Rational(5, 12), 6), Weight(1, 2));
+  // Allowing p=12 recovers the exact weight.
+  EXPECT_EQ(inflate_weight(Rational(5, 12), 12), Weight(5, 12));
+  EXPECT_EQ(inflate_weight(Rational(1), 4), Weight(1, 1));
+  EXPECT_THROW((void)inflate_weight(Rational(5, 4), 8), ContractViolation);
+}
+
+TEST(Supertask, RejectsWeightBelowComponentSum) {
+  SupertaskGroup g;
+  g.name = "S";
+  g.components = {Weight(1, 4), Weight(1, 2)};
+  g.super_weight = Weight(1, 2);  // 1/2 < 3/4
+  EXPECT_THROW((void)run_supertasked({g}, {}, 1), ContractViolation);
+}
+
+TEST(Supertask, SingleComponentGroupBehavesLikeTheTask) {
+  // One component of weight 1/2 in a supertask of weight 1/2 on one
+  // processor, alone: every job must be met (the supertask's Pfair
+  // windows align with the component's own).
+  SupertaskGroup g;
+  g.name = "S";
+  g.components = {Weight(1, 2)};
+  g.super_weight = Weight(1, 2);
+  const SupertaskResult res = run_supertasked({g}, {Weight(1, 2)}, 1, 24);
+  EXPECT_TRUE(res.all_components_met());
+  EXPECT_EQ(res.free_misses, 0);
+}
+
+TEST(Supertask, ComponentSumAccounting) {
+  SupertaskGroup g;
+  g.components = {Weight(1, 4), Weight(1, 6), Weight(1, 3)};
+  EXPECT_EQ(g.component_sum(), Rational(3, 4));
+}
+
+TEST(Supertask, WorstCaseGrantsServeJobLevelComponentsOnTheGrid) {
+  // Measured property: with *job-level EDF* components (deadline =
+  // period), a supertask of exactly the component-sum weight serves
+  // every job even under the latest legal grant pattern (every supertask
+  // subtask in the last slot of its window) — the window-end supply
+  // never lags the fluid rate by a full quantum.  (The classical
+  // reweighting requirement in the supertasking literature concerns
+  // Pfair-*windowed* components and weight-representation rounding, not
+  // this job-level setting.)
+  for (std::int64_t p1 = 2; p1 <= 6; ++p1) {
+    for (std::int64_t p2 = p1; p2 <= 9; ++p2) {
+      for (std::int64_t e1 = 1; e1 < p1; ++e1) {
+        const Rational sum = Rational(e1, p1) + Rational(1, p2);
+        if (sum > Rational(1)) continue;
+        SupertaskGroup g;
+        g.name = "S";
+        g.components = {Weight(e1, p1), Weight(1, p2)};
+        g.super_weight = Weight(sum.num(), sum.den());
+        const std::int64_t h = 3 * std::lcm(p1, p2) + 12;
+        const JobScheduleResult jr = run_group_worst_case(g, h);
+        EXPECT_TRUE(jr.all_met())
+            << e1 << "/" << p1 << " + 1/" << p2 << " missed "
+            << jr.missed_jobs << "/" << jr.total_jobs;
+      }
+    }
+  }
+}
+
+TEST(Supertask, InflationCapacityCost) {
+  // When the exact component sum is not representable at the desired
+  // period granularity, the supertask weight must round up; the cost is
+  // the difference.  5/12 forced to periods <= 6 rounds to 1/2: a 20%
+  // rate increase.
+  const Rational sum(5, 12);
+  const Weight inflated = inflate_weight(sum, 6);
+  EXPECT_EQ(inflated, Weight(1, 2));
+  EXPECT_EQ(inflated.value() - sum, Rational(1, 12));
+  // The inflated group still serves its components under worst-case
+  // grants (more supply can only help).
+  SupertaskGroup g;
+  g.name = "S";
+  g.components = {Weight(1, 4), Weight(1, 6)};
+  g.super_weight = inflated;
+  EXPECT_TRUE(run_group_worst_case(g, 60).all_met());
+}
+
+TEST(Supertask, GroupsPlusFreeTasksOnMultiprocessor) {
+  SupertaskGroup g1;
+  g1.name = "S1";
+  g1.components = {Weight(1, 4), Weight(1, 4)};
+  g1.super_weight = Weight(1, 2);
+  SupertaskGroup g2;
+  g2.name = "S2";
+  g2.components = {Weight(1, 3), Weight(1, 6)};
+  g2.super_weight = Weight(1, 2);
+  const SupertaskResult res =
+      run_supertasked({g1, g2}, {Weight(1, 2), Weight(1, 2)}, 2, 48);
+  EXPECT_EQ(res.free_misses, 0);
+  // Both groups' supertasks received their full Pfair share; whether
+  // every component met depends on alignment — at least record totals.
+  ASSERT_EQ(res.group_jobs.size(), 2u);
+  EXPECT_GT(res.group_jobs[0].total_jobs, 0);
+}
+
+}  // namespace
+}  // namespace pfair

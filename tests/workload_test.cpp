@@ -1,0 +1,163 @@
+// Tests for the workload generators and the paper-figure scenarios.
+#include <gtest/gtest.h>
+
+#include "analysis/blocking.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TEST(Generator, HitsUtilizationTargetExactly) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 4;
+    cfg.target_util = Rational(4);
+    cfg.seed = seed;
+    const TaskSystem sys = generate_periodic(cfg);
+    EXPECT_EQ(sys.total_utilization(), Rational(4)) << "seed " << seed;
+    EXPECT_TRUE(sys.feasible());
+  }
+}
+
+TEST(Generator, FractionalTargets) {
+  GeneratorConfig cfg;
+  cfg.processors = 3;
+  cfg.target_util = Rational(7, 3);
+  cfg.seed = 2;
+  const TaskSystem sys = generate_periodic(cfg);
+  EXPECT_EQ(sys.total_utilization(), Rational(7, 3));
+}
+
+TEST(Generator, WeightClassesRespected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    GeneratorConfig cfg;
+    cfg.processors = 3;
+    cfg.target_util = Rational(3);
+    cfg.seed = seed;
+
+    cfg.weights = WeightClass::kLight;
+    const TaskSystem light = generate_periodic(cfg);
+    // All but the final exact filler must be light.
+    for (std::int64_t k = 0; k + 1 < light.num_tasks(); ++k) {
+      EXPECT_TRUE(light.task(k).weight().light()) << "seed " << seed;
+    }
+
+    cfg.weights = WeightClass::kHeavy;
+    const TaskSystem heavy = generate_periodic(cfg);
+    for (std::int64_t k = 0; k + 1 < heavy.num_tasks(); ++k) {
+      EXPECT_TRUE(heavy.task(k).weight().heavy()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Generator, DeterministicBySeed) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(2);
+  cfg.seed = 77;
+  const TaskSystem a = generate_periodic(cfg);
+  const TaskSystem b = generate_periodic(cfg);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::int64_t k = 0; k < a.num_tasks(); ++k) {
+    EXPECT_EQ(a.task(k).weight(), b.task(k).weight());
+  }
+}
+
+TEST(Generator, RejectsBadTargets) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(3);
+  EXPECT_THROW((void)generate_periodic(cfg), ContractViolation);
+  cfg.target_util = Rational(0);
+  EXPECT_THROW((void)generate_periodic(cfg), ContractViolation);
+}
+
+TEST(Generator, IsJitterKeepsWeightsAndCounts) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(2);
+  cfg.seed = 5;
+  const TaskSystem base = generate_periodic(cfg);
+  const TaskSystem jit = add_is_jitter(base, 3, 1, 2, 99);
+  ASSERT_EQ(jit.num_tasks(), base.num_tasks());
+  EXPECT_EQ(jit.total_utilization(), base.total_utilization());
+  bool any_shift = false;
+  for (std::int64_t k = 0; k < jit.num_tasks(); ++k) {
+    EXPECT_EQ(jit.task(k).num_subtasks(), base.task(k).num_subtasks());
+    EXPECT_EQ(jit.task(k).kind(), TaskKind::kIntraSporadic);
+    for (std::int64_t s = 0; s < jit.task(k).num_subtasks(); ++s) {
+      const std::int64_t theta = jit.task(k).subtask(s).theta;
+      EXPECT_GE(theta, base.task(k).subtask(s).theta);
+      if (theta > 0) any_shift = true;
+    }
+  }
+  EXPECT_TRUE(any_shift);
+}
+
+TEST(Generator, DropSubtasksRemovesSome) {
+  GeneratorConfig cfg;
+  cfg.processors = 2;
+  cfg.target_util = Rational(2);
+  cfg.seed = 8;
+  const TaskSystem base = generate_periodic(cfg);
+  const TaskSystem gis = drop_subtasks(base, 1, 3, 123);
+  EXPECT_LT(gis.total_subtasks(), base.total_subtasks());
+  for (std::int64_t k = 0; k < gis.num_tasks(); ++k) {
+    EXPECT_GE(gis.task(k).num_subtasks(), 1);
+    EXPECT_EQ(gis.task(k).kind(), TaskKind::kGeneralizedIS);
+  }
+}
+
+// ------------------------------------------------------------ paper figures
+
+TEST(Figures, Fig1WindowsMatchThePaper) {
+  const TaskSystem periodic = fig1_periodic();
+  const Task& t = periodic.task(0);
+  ASSERT_EQ(t.num_subtasks(), 6);
+  EXPECT_EQ(t.subtask(0).release, 0);
+  EXPECT_EQ(t.subtask(0).deadline, 2);
+  EXPECT_EQ(t.subtask(2).release, 2);
+  EXPECT_EQ(t.subtask(2).deadline, 4);
+
+  const TaskSystem is = fig1_intra_sporadic();
+  EXPECT_EQ(is.task(0).subtask(2).release, 3);   // one slot late
+  EXPECT_EQ(is.task(0).subtask(2).deadline, 5);
+
+  const TaskSystem gis = fig1_gis();
+  ASSERT_EQ(gis.task(0).num_subtasks(), 2);      // T_2 absent
+  EXPECT_EQ(gis.task(0).subtask(1).index, 3);
+  EXPECT_EQ(gis.task(0).subtask(1).release, 3);
+}
+
+TEST(Figures, Fig2SystemShape) {
+  const FigureScenario sc = fig2_scenario();
+  EXPECT_EQ(sc.system.num_tasks(), 6);
+  EXPECT_EQ(sc.system.processors(), 2);
+  EXPECT_EQ(sc.system.total_utilization(), Rational(2));
+  // The script touches exactly A_1 and F_1.
+  EXPECT_LT(sc.yields->cost(sc.system, SubtaskRef{0, 0}), kQuantum);
+  EXPECT_LT(sc.yields->cost(sc.system, SubtaskRef{5, 0}), kQuantum);
+  EXPECT_EQ(sc.yields->cost(sc.system, SubtaskRef{3, 0}), kQuantum);
+}
+
+TEST(Figures, Fig3ScenarioExhibitsPredecessorBlocking) {
+  const FigureScenario sc = fig3_scenario();
+  DvqOptions opts;
+  opts.log_decisions = true;
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields, opts);
+  ASSERT_TRUE(sched.complete());
+  const BlockingReport rep = analyze_blocking(sc.system, sched);
+  EXPECT_GT(rep.predecessor_blocked, 0);
+  EXPECT_TRUE(rep.property_pb_holds())
+      << (rep.details.empty() ? "" : rep.details.front());
+}
+
+TEST(Figures, DeltaValidation) {
+  EXPECT_THROW((void)fig2_scenario(Time()), ContractViolation);
+  EXPECT_THROW((void)fig2_scenario(kQuantum), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfair

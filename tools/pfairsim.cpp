@@ -1,0 +1,234 @@
+// pfairsim — command-line Pfair scheduling simulator.
+//
+//   pfairsim [options] <taskfile>
+//   pfairsim --demo            # run the paper's Fig. 2 system
+//
+// Options:
+//   --policy=pd2|pd|pf|epdf    priority policy           (default pd2)
+//   --model=sfq|dvq|stag       quantum model             (default sfq)
+//   --yield=full               every subtask runs a full quantum
+//   --yield=fixed:<num>/<den>  every subtask uses num/den of its quantum
+//   --yield=bern:<num>/<den>   that fraction of subtasks yields early
+//   --seed=<n>                 RNG seed for bern yields  (default 1)
+//   --csv=<path>               export the schedule as CSV
+//   --trace=<path>             export Chrome trace-event JSON
+//   --svg=<path>               export the schedule as an SVG figure
+//   --quiet                    suppress the rendered schedule
+//
+// The task file format is documented in src/io/parse.hpp.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "pfair/pfair.hpp"
+
+namespace {
+
+using namespace pfair;
+
+struct CliOptions {
+  Policy policy = Policy::kPd2;
+  enum class Model { kSfq, kDvq, kStaggered } model = Model::kSfq;
+  std::string yield_spec = "full";
+  std::uint64_t seed = 1;
+  std::string csv_path;
+  std::string trace_path;
+  std::string svg_path;
+  bool quiet = false;
+  bool demo = false;
+  std::string file;
+};
+
+[[noreturn]] void usage(const std::string& err) {
+  if (!err.empty()) std::cerr << "pfairsim: " << err << "\n";
+  std::cerr << "usage: pfairsim [--policy=pd2|pd|pf|epdf] "
+               "[--model=sfq|dvq|stag]\n"
+               "                [--yield=full|fixed:n/d|bern:n/d] "
+               "[--seed=N] [--csv=PATH]\n"
+               "                [--quiet] (<taskfile> | --demo)\n";
+  std::exit(2);
+}
+
+std::pair<std::int64_t, std::int64_t> parse_frac(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) usage("bad fraction '" + s + "'");
+  try {
+    const std::int64_t n = std::stoll(s.substr(0, slash));
+    const std::int64_t d = std::stoll(s.substr(slash + 1));
+    if (n < 0 || d <= 0 || n > d) usage("fraction out of range: " + s);
+    return {n, d};
+  } catch (...) {
+    usage("bad fraction '" + s + "'");
+  }
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--policy=", 0) == 0) {
+      const std::string v = value("--policy=");
+      if (v == "pd2") {
+        o.policy = Policy::kPd2;
+      } else if (v == "pd") {
+        o.policy = Policy::kPd;
+      } else if (v == "pf") {
+        o.policy = Policy::kPf;
+      } else if (v == "epdf") {
+        o.policy = Policy::kEpdf;
+      } else {
+        usage("unknown policy '" + v + "'");
+      }
+    } else if (arg.rfind("--model=", 0) == 0) {
+      const std::string v = value("--model=");
+      if (v == "sfq") {
+        o.model = CliOptions::Model::kSfq;
+      } else if (v == "dvq") {
+        o.model = CliOptions::Model::kDvq;
+      } else if (v == "stag") {
+        o.model = CliOptions::Model::kStaggered;
+      } else {
+        usage("unknown model '" + v + "'");
+      }
+    } else if (arg.rfind("--yield=", 0) == 0) {
+      o.yield_spec = value("--yield=");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      o.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      o.csv_path = value("--csv=");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      o.trace_path = value("--trace=");
+    } else if (arg.rfind("--svg=", 0) == 0) {
+      o.svg_path = value("--svg=");
+    } else if (arg == "--quiet") {
+      o.quiet = true;
+    } else if (arg == "--demo") {
+      o.demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage("");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown option '" + arg + "'");
+    } else if (o.file.empty()) {
+      o.file = arg;
+    } else {
+      usage("more than one task file given");
+    }
+  }
+  if (o.file.empty() && !o.demo) usage("no task file");
+  return o;
+}
+
+std::unique_ptr<YieldModel> make_yields(const CliOptions& o) {
+  if (o.yield_spec == "full") return std::make_unique<FullQuantumYield>();
+  if (o.yield_spec.rfind("fixed:", 0) == 0) {
+    const auto [n, d] = parse_frac(o.yield_spec.substr(6));
+    if (n == 0) usage("fixed yield fraction must be > 0");
+    return std::make_unique<FixedYield>(kQuantum -
+                                        Time::slots_frac(0, n, d));
+  }
+  if (o.yield_spec.rfind("bern:", 0) == 0) {
+    const auto [n, d] = parse_frac(o.yield_spec.substr(5));
+    return std::make_unique<BernoulliYield>(
+        o.seed, n, d, Time::ticks(kTicksPerSlot / 4), kQuantum - kTick);
+  }
+  usage("unknown yield spec '" + o.yield_spec + "'");
+}
+
+int run(const CliOptions& o) {
+  std::optional<TaskSystem> sys;
+  if (o.demo) {
+    sys.emplace(fig6_system());
+  } else {
+    std::ifstream f(o.file);
+    if (!f.good()) {
+      std::cerr << "pfairsim: cannot open " << o.file << "\n";
+      return 2;
+    }
+    sys.emplace(parse_task_file(f).build());
+  }
+
+  std::cout << "system: " << sys->summary() << "\n";
+  std::cout << "policy: " << to_string(o.policy) << ", feasible: "
+            << std::boolalpha << sys->feasible() << "\n\n";
+
+  const std::unique_ptr<YieldModel> yields = make_yields(o);
+  TardinessSummary tard;
+  if (o.model == CliOptions::Model::kSfq) {
+    SfqOptions so;
+    so.policy = o.policy;
+    const SlotSchedule sched = schedule_sfq(*sys, so);
+    if (!o.quiet) {
+      std::cout << render_slot_schedule(*sys, sched) << "\n\n";
+    }
+    const ValidityReport rep = check_slot_schedule(*sys, sched);
+    std::cout << "validity: " << rep.str() << "\n";
+    tard = measure_tardiness(*sys, sched);
+    if (!o.csv_path.empty()) {
+      export_slot_schedule(*sys, sched).write_file(o.csv_path);
+    }
+    if (!o.trace_path.empty()) {
+      std::ofstream f(o.trace_path);
+      f << export_chrome_trace(*sys, sched);
+    }
+    if (!o.svg_path.empty()) {
+      std::ofstream f(o.svg_path);
+      f << render_slot_schedule_svg(*sys, sched);
+    }
+  } else {
+    DvqSchedule sched = [&] {
+      if (o.model == CliOptions::Model::kDvq) {
+        DvqOptions dopts;
+        dopts.policy = o.policy;
+        return schedule_dvq(*sys, *yields, dopts);
+      }
+      StaggeredOptions sopts;
+      sopts.policy = o.policy;
+      return schedule_staggered(*sys, *yields, sopts);
+    }();
+    if (!o.quiet) {
+      std::cout << render_dvq_schedule(*sys, sched) << "\n\n";
+    }
+    std::cout << "validity (one-quantum allowance): "
+              << check_dvq_schedule(*sys, sched, kQuantum).str() << "\n";
+    tard = measure_tardiness(*sys, sched);
+    if (!o.csv_path.empty()) {
+      export_dvq_schedule(*sys, sched).write_file(o.csv_path);
+    }
+    if (!o.trace_path.empty()) {
+      std::ofstream f(o.trace_path);
+      f << export_chrome_trace(*sys, sched);
+    }
+    if (!o.svg_path.empty()) {
+      std::ofstream f(o.svg_path);
+      f << render_dvq_schedule_svg(*sys, sched);
+    }
+  }
+
+  std::cout << "tardiness: max " << tard.max_quanta() << " quanta, "
+            << tard.late_subtasks << "/" << tard.total_subtasks
+            << " subtasks late";
+  if (tard.unscheduled > 0) {
+    std::cout << ", " << tard.unscheduled << " UNSCHEDULED";
+  }
+  std::cout << "\n";
+  if (!o.csv_path.empty()) {
+    std::cout << "schedule exported to " << o.csv_path << "\n";
+  }
+  return tard.none_late() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const pfair::ContractViolation& e) {
+    std::cerr << "pfairsim: " << e.what() << "\n";
+    return 2;
+  }
+}
