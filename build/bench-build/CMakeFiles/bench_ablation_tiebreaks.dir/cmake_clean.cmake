@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tiebreaks"
+  "../bench/bench_ablation_tiebreaks.pdb"
+  "CMakeFiles/bench_ablation_tiebreaks.dir/bench_ablation_tiebreaks.cpp.o"
+  "CMakeFiles/bench_ablation_tiebreaks.dir/bench_ablation_tiebreaks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiebreaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

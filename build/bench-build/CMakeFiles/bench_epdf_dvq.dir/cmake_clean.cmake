@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_epdf_dvq"
+  "../bench/bench_epdf_dvq.pdb"
+  "CMakeFiles/bench_epdf_dvq.dir/bench_epdf_dvq.cpp.o"
+  "CMakeFiles/bench_epdf_dvq.dir/bench_epdf_dvq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epdf_dvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

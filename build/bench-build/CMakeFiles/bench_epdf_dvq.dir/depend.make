@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_epdf_dvq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_er_release"
+  "../bench/bench_er_release.pdb"
+  "CMakeFiles/bench_er_release.dir/bench_er_release.cpp.o"
+  "CMakeFiles/bench_er_release.dir/bench_er_release.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_er_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

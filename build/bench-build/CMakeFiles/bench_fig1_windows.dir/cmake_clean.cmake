@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_windows"
+  "../bench/bench_fig1_windows.pdb"
+  "CMakeFiles/bench_fig1_windows.dir/bench_fig1_windows.cpp.o"
+  "CMakeFiles/bench_fig1_windows.dir/bench_fig1_windows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_models"
+  "../bench/bench_fig2_models.pdb"
+  "CMakeFiles/bench_fig2_models.dir/bench_fig2_models.cpp.o"
+  "CMakeFiles/bench_fig2_models.dir/bench_fig2_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

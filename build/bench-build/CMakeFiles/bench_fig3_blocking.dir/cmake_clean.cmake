@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_blocking"
+  "../bench/bench_fig3_blocking.pdb"
+  "CMakeFiles/bench_fig3_blocking.dir/bench_fig3_blocking.cpp.o"
+  "CMakeFiles/bench_fig3_blocking.dir/bench_fig3_blocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

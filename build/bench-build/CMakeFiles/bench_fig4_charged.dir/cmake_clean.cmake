@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_charged"
+  "../bench/bench_fig4_charged.pdb"
+  "CMakeFiles/bench_fig4_charged.dir/bench_fig4_charged.cpp.o"
+  "CMakeFiles/bench_fig4_charged.dir/bench_fig4_charged.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_charged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

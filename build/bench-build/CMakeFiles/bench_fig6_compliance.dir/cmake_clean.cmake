@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_compliance"
+  "../bench/bench_fig6_compliance.pdb"
+  "CMakeFiles/bench_fig6_compliance.dir/bench_fig6_compliance.cpp.o"
+  "CMakeFiles/bench_fig6_compliance.dir/bench_fig6_compliance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

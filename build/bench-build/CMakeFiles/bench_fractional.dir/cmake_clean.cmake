@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fractional"
+  "../bench/bench_fractional.pdb"
+  "CMakeFiles/bench_fractional.dir/bench_fractional.cpp.o"
+  "CMakeFiles/bench_fractional.dir/bench_fractional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fractional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fractional.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_soak"
+  "../bench/bench_soak.pdb"
+  "CMakeFiles/bench_soak.dir/bench_soak.cpp.o"
+  "CMakeFiles/bench_soak.dir/bench_soak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

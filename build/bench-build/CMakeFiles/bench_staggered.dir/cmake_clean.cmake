@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_staggered"
+  "../bench/bench_staggered.pdb"
+  "CMakeFiles/bench_staggered.dir/bench_staggered.cpp.o"
+  "CMakeFiles/bench_staggered.dir/bench_staggered.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_supertask"
+  "../bench/bench_supertask.pdb"
+  "CMakeFiles/bench_supertask.dir/bench_supertask.cpp.o"
+  "CMakeFiles/bench_supertask.dir/bench_supertask.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supertask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switching"
+  "../bench/bench_switching.pdb"
+  "CMakeFiles/bench_switching.dir/bench_switching.cpp.o"
+  "CMakeFiles/bench_switching.dir/bench_switching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

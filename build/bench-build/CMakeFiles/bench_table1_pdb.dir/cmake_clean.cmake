@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_pdb"
+  "../bench/bench_table1_pdb.pdb"
+  "CMakeFiles/bench_table1_pdb.dir/bench_table1_pdb.cpp.o"
+  "CMakeFiles/bench_table1_pdb.dir/bench_table1_pdb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

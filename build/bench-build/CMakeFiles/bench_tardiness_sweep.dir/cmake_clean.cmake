@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tardiness_sweep"
+  "../bench/bench_tardiness_sweep.pdb"
+  "CMakeFiles/bench_tardiness_sweep.dir/bench_tardiness_sweep.cpp.o"
+  "CMakeFiles/bench_tardiness_sweep.dir/bench_tardiness_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tardiness_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem_tardiness"
+  "../bench/bench_theorem_tardiness.pdb"
+  "CMakeFiles/bench_theorem_tardiness.dir/bench_theorem_tardiness.cpp.o"
+  "CMakeFiles/bench_theorem_tardiness.dir/bench_theorem_tardiness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_tardiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

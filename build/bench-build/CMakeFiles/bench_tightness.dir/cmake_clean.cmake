@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tightness"
+  "../bench/bench_tightness.pdb"
+  "CMakeFiles/bench_tightness.dir/bench_tightness.cpp.o"
+  "CMakeFiles/bench_tightness.dir/bench_tightness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_util_bound"
+  "../bench/bench_util_bound.pdb"
+  "CMakeFiles/bench_util_bound.dir/bench_util_bound.cpp.o"
+  "CMakeFiles/bench_util_bound.dir/bench_util_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

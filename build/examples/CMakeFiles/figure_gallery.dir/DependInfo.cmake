@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/figure_gallery.cpp" "examples/CMakeFiles/figure_gallery.dir/figure_gallery.cpp.o" "gcc" "examples/CMakeFiles/figure_gallery.dir/figure_gallery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_super.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_edf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

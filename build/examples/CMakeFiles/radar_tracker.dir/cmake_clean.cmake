@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_tracker.dir/radar_tracker.cpp.o"
+  "CMakeFiles/radar_tracker.dir/radar_tracker.cpp.o.d"
+  "radar_tracker"
+  "radar_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

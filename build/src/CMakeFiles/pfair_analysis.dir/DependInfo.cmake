@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocking.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/blocking.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/blocking.cpp.o.d"
+  "/root/repo/src/analysis/charged_free.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/charged_free.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/charged_free.cpp.o.d"
+  "/root/repo/src/analysis/compliance.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/compliance.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/compliance.cpp.o.d"
+  "/root/repo/src/analysis/hyperperiod.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/hyperperiod.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/hyperperiod.cpp.o.d"
+  "/root/repo/src/analysis/lag.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/lag.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/lag.cpp.o.d"
+  "/root/repo/src/analysis/overheads.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/overheads.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/overheads.cpp.o.d"
+  "/root/repo/src/analysis/pdb_blocking.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/pdb_blocking.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/pdb_blocking.cpp.o.d"
+  "/root/repo/src/analysis/sb_construction.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/sb_construction.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/sb_construction.cpp.o.d"
+  "/root/repo/src/analysis/switching.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/switching.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/switching.cpp.o.d"
+  "/root/repo/src/analysis/tardiness.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/tardiness.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/tardiness.cpp.o.d"
+  "/root/repo/src/analysis/validity.cpp" "src/CMakeFiles/pfair_analysis.dir/analysis/validity.cpp.o" "gcc" "src/CMakeFiles/pfair_analysis.dir/analysis/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

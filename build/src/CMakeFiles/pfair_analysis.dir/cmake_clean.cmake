@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_analysis.dir/analysis/blocking.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/blocking.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/charged_free.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/charged_free.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/compliance.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/compliance.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/hyperperiod.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/hyperperiod.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/lag.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/lag.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/overheads.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/overheads.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/pdb_blocking.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/pdb_blocking.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/sb_construction.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/sb_construction.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/switching.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/switching.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/tardiness.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/tardiness.cpp.o.d"
+  "CMakeFiles/pfair_analysis.dir/analysis/validity.cpp.o"
+  "CMakeFiles/pfair_analysis.dir/analysis/validity.cpp.o.d"
+  "libpfair_analysis.a"
+  "libpfair_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

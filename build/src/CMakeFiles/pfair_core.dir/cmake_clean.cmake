@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_core.dir/core/rational.cpp.o"
+  "CMakeFiles/pfair_core.dir/core/rational.cpp.o.d"
+  "CMakeFiles/pfair_core.dir/core/rng.cpp.o"
+  "CMakeFiles/pfair_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/pfair_core.dir/core/stats.cpp.o"
+  "CMakeFiles/pfair_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/pfair_core.dir/core/thread_pool.cpp.o"
+  "CMakeFiles/pfair_core.dir/core/thread_pool.cpp.o.d"
+  "CMakeFiles/pfair_core.dir/core/time.cpp.o"
+  "CMakeFiles/pfair_core.dir/core/time.cpp.o.d"
+  "libpfair_core.a"
+  "libpfair_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvq/dvq_schedule.cpp" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_schedule.cpp.o" "gcc" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_schedule.cpp.o.d"
+  "/root/repo/src/dvq/dvq_scheduler.cpp" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_scheduler.cpp.o" "gcc" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_scheduler.cpp.o.d"
+  "/root/repo/src/dvq/dvq_simulator.cpp" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_simulator.cpp.o" "gcc" "src/CMakeFiles/pfair_dvq.dir/dvq/dvq_simulator.cpp.o.d"
+  "/root/repo/src/dvq/staggered.cpp" "src/CMakeFiles/pfair_dvq.dir/dvq/staggered.cpp.o" "gcc" "src/CMakeFiles/pfair_dvq.dir/dvq/staggered.cpp.o.d"
+  "/root/repo/src/dvq/yield.cpp" "src/CMakeFiles/pfair_dvq.dir/dvq/yield.cpp.o" "gcc" "src/CMakeFiles/pfair_dvq.dir/dvq/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_schedule.cpp.o"
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_schedule.cpp.o.d"
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_scheduler.cpp.o"
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_scheduler.cpp.o.d"
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_simulator.cpp.o"
+  "CMakeFiles/pfair_dvq.dir/dvq/dvq_simulator.cpp.o.d"
+  "CMakeFiles/pfair_dvq.dir/dvq/staggered.cpp.o"
+  "CMakeFiles/pfair_dvq.dir/dvq/staggered.cpp.o.d"
+  "CMakeFiles/pfair_dvq.dir/dvq/yield.cpp.o"
+  "CMakeFiles/pfair_dvq.dir/dvq/yield.cpp.o.d"
+  "libpfair_dvq.a"
+  "libpfair_dvq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_dvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

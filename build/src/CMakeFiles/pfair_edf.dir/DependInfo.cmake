@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edf/global_edf.cpp" "src/CMakeFiles/pfair_edf.dir/edf/global_edf.cpp.o" "gcc" "src/CMakeFiles/pfair_edf.dir/edf/global_edf.cpp.o.d"
+  "/root/repo/src/edf/jobs.cpp" "src/CMakeFiles/pfair_edf.dir/edf/jobs.cpp.o" "gcc" "src/CMakeFiles/pfair_edf.dir/edf/jobs.cpp.o.d"
+  "/root/repo/src/edf/partition.cpp" "src/CMakeFiles/pfair_edf.dir/edf/partition.cpp.o" "gcc" "src/CMakeFiles/pfair_edf.dir/edf/partition.cpp.o.d"
+  "/root/repo/src/edf/partitioned_edf.cpp" "src/CMakeFiles/pfair_edf.dir/edf/partitioned_edf.cpp.o" "gcc" "src/CMakeFiles/pfair_edf.dir/edf/partitioned_edf.cpp.o.d"
+  "/root/repo/src/edf/partitioned_pfair.cpp" "src/CMakeFiles/pfair_edf.dir/edf/partitioned_pfair.cpp.o" "gcc" "src/CMakeFiles/pfair_edf.dir/edf/partitioned_pfair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

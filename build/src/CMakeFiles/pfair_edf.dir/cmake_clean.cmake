@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_edf.dir/edf/global_edf.cpp.o"
+  "CMakeFiles/pfair_edf.dir/edf/global_edf.cpp.o.d"
+  "CMakeFiles/pfair_edf.dir/edf/jobs.cpp.o"
+  "CMakeFiles/pfair_edf.dir/edf/jobs.cpp.o.d"
+  "CMakeFiles/pfair_edf.dir/edf/partition.cpp.o"
+  "CMakeFiles/pfair_edf.dir/edf/partition.cpp.o.d"
+  "CMakeFiles/pfair_edf.dir/edf/partitioned_edf.cpp.o"
+  "CMakeFiles/pfair_edf.dir/edf/partitioned_edf.cpp.o.d"
+  "CMakeFiles/pfair_edf.dir/edf/partitioned_pfair.cpp.o"
+  "CMakeFiles/pfair_edf.dir/edf/partitioned_pfair.cpp.o.d"
+  "libpfair_edf.a"
+  "libpfair_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

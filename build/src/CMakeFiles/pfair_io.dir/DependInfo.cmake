@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/pfair_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/export.cpp" "src/CMakeFiles/pfair_io.dir/io/export.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/export.cpp.o.d"
+  "/root/repo/src/io/parse.cpp" "src/CMakeFiles/pfair_io.dir/io/parse.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/parse.cpp.o.d"
+  "/root/repo/src/io/render.cpp" "src/CMakeFiles/pfair_io.dir/io/render.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/render.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/CMakeFiles/pfair_io.dir/io/svg.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/svg.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/pfair_io.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/pfair_io.dir/io/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

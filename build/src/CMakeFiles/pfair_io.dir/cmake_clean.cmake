@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_io.dir/io/csv.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/pfair_io.dir/io/export.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/export.cpp.o.d"
+  "CMakeFiles/pfair_io.dir/io/parse.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/parse.cpp.o.d"
+  "CMakeFiles/pfair_io.dir/io/render.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/render.cpp.o.d"
+  "CMakeFiles/pfair_io.dir/io/svg.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/svg.cpp.o.d"
+  "CMakeFiles/pfair_io.dir/io/table.cpp.o"
+  "CMakeFiles/pfair_io.dir/io/table.cpp.o.d"
+  "libpfair_io.a"
+  "libpfair_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

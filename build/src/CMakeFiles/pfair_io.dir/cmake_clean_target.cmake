@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfair_io.a"
+)

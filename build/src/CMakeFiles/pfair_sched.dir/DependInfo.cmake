@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/indexed_scheduler.cpp" "src/CMakeFiles/pfair_sched.dir/sched/indexed_scheduler.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/indexed_scheduler.cpp.o.d"
+  "/root/repo/src/sched/pdb_scheduler.cpp" "src/CMakeFiles/pfair_sched.dir/sched/pdb_scheduler.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/pdb_scheduler.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/CMakeFiles/pfair_sched.dir/sched/priority.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/priority.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/pfair_sched.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/sfq_scheduler.cpp" "src/CMakeFiles/pfair_sched.dir/sched/sfq_scheduler.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/sfq_scheduler.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/CMakeFiles/pfair_sched.dir/sched/simulator.cpp.o" "gcc" "src/CMakeFiles/pfair_sched.dir/sched/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_sched.dir/sched/indexed_scheduler.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/indexed_scheduler.cpp.o.d"
+  "CMakeFiles/pfair_sched.dir/sched/pdb_scheduler.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/pdb_scheduler.cpp.o.d"
+  "CMakeFiles/pfair_sched.dir/sched/priority.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/priority.cpp.o.d"
+  "CMakeFiles/pfair_sched.dir/sched/schedule.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/schedule.cpp.o.d"
+  "CMakeFiles/pfair_sched.dir/sched/sfq_scheduler.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/sfq_scheduler.cpp.o.d"
+  "CMakeFiles/pfair_sched.dir/sched/simulator.cpp.o"
+  "CMakeFiles/pfair_sched.dir/sched/simulator.cpp.o.d"
+  "libpfair_sched.a"
+  "libpfair_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_super.dir/super/supertask.cpp.o"
+  "CMakeFiles/pfair_super.dir/super/supertask.cpp.o.d"
+  "libpfair_super.a"
+  "libpfair_super.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_super.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

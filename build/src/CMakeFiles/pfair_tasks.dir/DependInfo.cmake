@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/group_deadline.cpp" "src/CMakeFiles/pfair_tasks.dir/tasks/group_deadline.cpp.o" "gcc" "src/CMakeFiles/pfair_tasks.dir/tasks/group_deadline.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "src/CMakeFiles/pfair_tasks.dir/tasks/task.cpp.o" "gcc" "src/CMakeFiles/pfair_tasks.dir/tasks/task.cpp.o.d"
+  "/root/repo/src/tasks/task_system.cpp" "src/CMakeFiles/pfair_tasks.dir/tasks/task_system.cpp.o" "gcc" "src/CMakeFiles/pfair_tasks.dir/tasks/task_system.cpp.o.d"
+  "/root/repo/src/tasks/windows.cpp" "src/CMakeFiles/pfair_tasks.dir/tasks/windows.cpp.o" "gcc" "src/CMakeFiles/pfair_tasks.dir/tasks/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfair_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_tasks.dir/tasks/group_deadline.cpp.o"
+  "CMakeFiles/pfair_tasks.dir/tasks/group_deadline.cpp.o.d"
+  "CMakeFiles/pfair_tasks.dir/tasks/task.cpp.o"
+  "CMakeFiles/pfair_tasks.dir/tasks/task.cpp.o.d"
+  "CMakeFiles/pfair_tasks.dir/tasks/task_system.cpp.o"
+  "CMakeFiles/pfair_tasks.dir/tasks/task_system.cpp.o.d"
+  "CMakeFiles/pfair_tasks.dir/tasks/windows.cpp.o"
+  "CMakeFiles/pfair_tasks.dir/tasks/windows.cpp.o.d"
+  "libpfair_tasks.a"
+  "libpfair_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

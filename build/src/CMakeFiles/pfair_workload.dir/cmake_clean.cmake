@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair_workload.dir/workload/adversary.cpp.o"
+  "CMakeFiles/pfair_workload.dir/workload/adversary.cpp.o.d"
+  "CMakeFiles/pfair_workload.dir/workload/dynamic.cpp.o"
+  "CMakeFiles/pfair_workload.dir/workload/dynamic.cpp.o.d"
+  "CMakeFiles/pfair_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/pfair_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/pfair_workload.dir/workload/paper_figures.cpp.o"
+  "CMakeFiles/pfair_workload.dir/workload/paper_figures.cpp.o.d"
+  "libpfair_workload.a"
+  "libpfair_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

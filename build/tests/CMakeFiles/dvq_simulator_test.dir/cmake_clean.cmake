@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvq_simulator_test.dir/dvq_simulator_test.cpp.o"
+  "CMakeFiles/dvq_simulator_test.dir/dvq_simulator_test.cpp.o.d"
+  "dvq_simulator_test"
+  "dvq_simulator_test.pdb"
+  "dvq_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvq_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvq_test.dir/dvq_test.cpp.o"
+  "CMakeFiles/dvq_test.dir/dvq_test.cpp.o.d"
+  "dvq_test"
+  "dvq_test.pdb"
+  "dvq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_test.dir/edf_test.cpp.o"
+  "CMakeFiles/edf_test.dir/edf_test.cpp.o.d"
+  "edf_test"
+  "edf_test.pdb"
+  "edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma2_test.dir/lemma2_test.cpp.o"
+  "CMakeFiles/lemma2_test.dir/lemma2_test.cpp.o.d"
+  "lemma2_test"
+  "lemma2_test.pdb"
+  "lemma2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

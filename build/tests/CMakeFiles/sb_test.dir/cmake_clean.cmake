@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_test.dir/sb_test.cpp.o"
+  "CMakeFiles/sb_test.dir/sb_test.cpp.o.d"
+  "sb_test"
+  "sb_test.pdb"
+  "sb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfq_test.dir/sfq_test.cpp.o"
+  "CMakeFiles/sfq_test.dir/sfq_test.cpp.o.d"
+  "sfq_test"
+  "sfq_test.pdb"
+  "sfq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

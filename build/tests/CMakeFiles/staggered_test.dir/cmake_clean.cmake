@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staggered_test.dir/staggered_test.cpp.o"
+  "CMakeFiles/staggered_test.dir/staggered_test.cpp.o.d"
+  "staggered_test"
+  "staggered_test.pdb"
+  "staggered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staggered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switching_indexed_test.dir/switching_indexed_test.cpp.o"
+  "CMakeFiles/switching_indexed_test.dir/switching_indexed_test.cpp.o.d"
+  "switching_indexed_test"
+  "switching_indexed_test.pdb"
+  "switching_indexed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switching_indexed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfairsim.dir/pfairsim.cpp.o"
+  "CMakeFiles/pfairsim.dir/pfairsim.cpp.o.d"
+  "pfairsim"
+  "pfairsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfairsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
