@@ -10,7 +10,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== A1: tie-break ablation (EPDF / PF / PD / PD2) ===\n\n";
 
@@ -64,3 +66,5 @@ int main() {
             << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("ablation_tiebreaks", run_bench)

@@ -9,6 +9,8 @@
 
 #include "pfair/pfair.hpp"
 
+#include "bench_main.hpp"
+
 namespace {
 
 using namespace pfair;
@@ -45,7 +47,7 @@ bool check_against_formulas(const TaskSystem& sys) {
 
 }  // namespace
 
-int main() {
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== F1: Fig. 1 — Pfair windows of a weight-3/4 task ===\n\n";
 
@@ -77,3 +79,5 @@ int main() {
             << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig1_windows", run_bench)

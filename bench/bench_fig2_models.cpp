@@ -9,7 +9,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext& ctx) {
   using namespace pfair;
   const Time delta = Time::ticks(kTicksPerSlot / 8);  // rendering-friendly
   const FigureScenario sc = fig2_scenario(delta);
@@ -20,7 +22,9 @@ int main() {
   bool ok = true;
 
   // (a) SFQ.
-  const SlotSchedule sfq = schedule_sfq(sys);
+  SfqOptions sopts;
+  sopts.metrics = &ctx.metrics();
+  const SlotSchedule sfq = schedule_sfq(sys, sopts);
   std::cout << "(a) PD2, SFQ model:\n"
             << render_slot_schedule(sys, sfq) << "\n";
   const TardinessSummary ta = measure_tardiness(sys, sfq);
@@ -30,7 +34,9 @@ int main() {
   // (b) DVQ.
   RenderOptions ropts;
   ropts.chars_per_slot = 8;
-  const DvqSchedule dvq = schedule_dvq(sys, *sc.yields);
+  DvqOptions dopts;
+  dopts.metrics = &ctx.metrics();
+  const DvqSchedule dvq = schedule_dvq(sys, *sc.yields, dopts);
   std::cout << "(b) PD2, DVQ model (A_1, F_1 yield early):\n"
             << render_dvq_schedule(sys, dvq, ropts) << "\n";
   const TardinessSummary tb = measure_tardiness(sys, dvq);
@@ -54,7 +60,13 @@ int main() {
   // tardiness(PD^B) <= 1 quantum.
   ok &= tb.max_ticks <= tc.max_ticks && tc.max_ticks <= kTicksPerSlot;
 
+  ctx.value("sfq_max_tardiness_quanta", ta.max_quanta());
+  ctx.value("dvq_max_tardiness_quanta", tb.max_quanta());
+  ctx.value("pdb_max_tardiness_quanta", tc.max_quanta());
+
   std::cout << "shape check (Theorem 1 chain on this instance): "
             << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig2_models", run_bench)

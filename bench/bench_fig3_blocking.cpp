@@ -10,7 +10,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   const Time delta = Time::ticks(kTicksPerSlot / 8);
   std::cout << "=== F3: Fig. 3 — predecessor blocking under PD2-DVQ ===\n\n";
@@ -74,3 +76,5 @@ int main() {
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig3_blocking", run_bench)

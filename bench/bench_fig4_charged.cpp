@@ -6,6 +6,8 @@
 
 #include "pfair/pfair.hpp"
 
+#include "bench_main.hpp"
+
 namespace {
 
 using namespace pfair;
@@ -58,7 +60,7 @@ bool show(const TaskSystem& sys, const YieldModel& yields,
 
 }  // namespace
 
-int main() {
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== F4: Fig. 4 — Aligned/Olapped/Free and S_B ===\n\n";
   bool ok = true;
@@ -85,3 +87,5 @@ int main() {
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig4_charged", run_bench)

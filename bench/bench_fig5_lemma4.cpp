@@ -7,7 +7,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== F5: Lemma 4 — Free-subtask tardiness accounting ===\n\n";
 
@@ -68,3 +70,5 @@ int main() {
             << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig5_lemma4", run_bench)

@@ -7,7 +7,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== F6: Fig. 6 — k-compliance (Lemma 6 / Theorem 2) ===\n\n";
   bool ok = true;
@@ -77,3 +79,5 @@ int main() {
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fig6_compliance", run_bench)

@@ -7,7 +7,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== FW1: non-integral execution costs (future work) ===\n\n";
 
@@ -67,3 +69,5 @@ int main() {
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("fractional", run_bench)

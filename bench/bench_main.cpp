@@ -1,0 +1,174 @@
+#include "bench_main.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "io/json.hpp"
+
+#ifndef PFAIR_GIT_DESCRIBE
+#define PFAIR_GIT_DESCRIBE "unknown"
+#endif
+
+namespace pfair::bench {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+struct WallStats {
+  double min = 0.0, median = 0.0, max = 0.0;
+};
+
+WallStats wall_stats(std::vector<double> ms) {
+  WallStats w;
+  if (ms.empty()) return w;
+  std::sort(ms.begin(), ms.end());
+  w.min = ms.front();
+  w.max = ms.back();
+  const std::size_t n = ms.size();
+  w.median = n % 2 == 1 ? ms[n / 2] : (ms[n / 2 - 1] + ms[n / 2]) / 2.0;
+  return w;
+}
+
+}  // namespace
+
+void BenchContext::value(const std::string& name, double v) {
+  for (auto& [k, old] : values_) {
+    if (k == name) {
+      old = v;
+      return;
+    }
+  }
+  values_.emplace_back(name, v);
+}
+
+std::string bench_report_json(const BenchReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << R"(  "schema": "pfair-bench-v1",)" << "\n";
+  os << R"(  "bench": ")" << json_escape(report.bench) << "\",\n";
+  os << R"(  "git": ")" << json_escape(PFAIR_GIT_DESCRIBE) << "\",\n";
+  os << R"(  "ok": )" << (report.exit_code == 0 ? "true" : "false") << ",\n";
+  os << R"(  "exit_code": )" << report.exit_code << ",\n";
+  os << R"(  "repetitions": )" << report.wall_ms.size() << ",\n";
+  const WallStats w = wall_stats(report.wall_ms);
+  os << R"(  "wall_ms": {"min": )" << fmt_double(w.min) << R"(, "median": )"
+     << fmt_double(w.median) << R"(, "max": )" << fmt_double(w.max)
+     << R"(, "all": [)";
+  for (std::size_t i = 0; i < report.wall_ms.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << fmt_double(report.wall_ms[i]);
+  }
+  os << "]},\n";
+  os << R"(  "values": {)";
+  bool first = true;
+  if (report.ctx != nullptr) {
+    for (const auto& [k, v] : report.ctx->values()) {
+      if (!first) os << ", ";
+      first = false;
+      os << '"' << json_escape(k) << "\": " << fmt_double(v);
+    }
+  }
+  os << "},\n";
+  os << R"(  "cases": [)";
+  if (report.ctx != nullptr) {
+    first = true;
+    for (const BenchCase& c : report.ctx->cases()) {
+      if (!first) os << ", ";
+      first = false;
+      os << R"({"name": ")" << json_escape(c.name) << R"(", "ns_per_op": )"
+         << fmt_double(c.ns_per_op) << R"(, "iterations": )" << c.iterations
+         << "}";
+    }
+  }
+  os << "],\n";
+  os << R"(  "metrics": )";
+  if (report.ctx != nullptr) {
+    os << metrics_to_json(report.ctx->metrics().snapshot(), 2);
+  } else {
+    os << "{}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string extract_json_flag(int& argc, char** argv,
+                              const std::string& name) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string_view arg = argv[r];
+    if (arg == "--json") {
+      path = "BENCH_" + name + ".json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = std::string(arg.substr(std::strlen("--json=")));
+      if (path.empty()) path = "BENCH_" + name + ".json";
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+int bench_main(int argc, char** argv, const char* name,
+               int (*fn)(BenchContext&)) {
+  const std::string bench_name = name;
+  const std::string json_path = extract_json_flag(argc, argv, bench_name);
+  std::size_t repeat = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::atoll(argv[i] + std::strlen("--repeat="))));
+    } else {
+      std::cerr << "usage: bench_" << bench_name
+                << " [--json[=PATH]] [--repeat=N]\n";
+      return 2;
+    }
+  }
+
+  BenchReport report;
+  report.bench = bench_name;
+  std::unique_ptr<BenchContext> ctx;
+  for (std::size_t rep = 0; rep < repeat; ++rep) {
+    // Fresh context per repetition: metrics describe one run, not an
+    // accumulation over all of them.
+    auto fresh = std::make_unique<BenchContext>();
+    const auto t0 = std::chrono::steady_clock::now();
+    report.exit_code = fn(*fresh);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    ctx = std::move(fresh);
+  }
+  report.ctx = ctx.get();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "bench_" << bench_name << ": cannot open " << json_path
+                << " for writing\n";
+      return 2;
+    }
+    out << bench_report_json(report);
+    std::cerr << "bench_" << bench_name << ": report written to " << json_path
+              << "\n";
+  }
+  return report.exit_code;
+}
+
+}  // namespace pfair::bench

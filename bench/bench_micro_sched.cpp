@@ -3,7 +3,18 @@
 // decision cost for every policy, PD^B overhead, DVQ event throughput.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <utility>
+#include <vector>
+
 #include "pfair/pfair.hpp"
+
+#include "bench_main.hpp"
 
 namespace {
 
@@ -142,6 +153,64 @@ void BM_SbConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_SbConstruction);
 
+/// Console reporter that also captures each per-iteration run as a
+/// BenchCase, so --json emits the same pfair-bench-v1 schema as the
+/// plain benches.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(pfair::bench::BenchContext& ctx)
+      : benchmark::ConsoleReporter(::isatty(::fileno(stdout)) != 0
+                                       ? OO_ColorTabular
+                                       : OO_Tabular),
+        ctx_(&ctx) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      pfair::bench::BenchCase c;
+      c.name = r.benchmark_name();
+      c.iterations = r.iterations;
+      c.ns_per_op = r.iterations == 0
+                        ? 0.0
+                        : r.real_accumulated_time * 1e9 /
+                              static_cast<double>(r.iterations);
+      ctx_->add_case(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  pfair::bench::BenchContext* ctx_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      pfair::bench::extract_json_flag(argc, argv, "micro_sched");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  pfair::bench::BenchContext ctx;
+  CapturingReporter reporter(ctx);
+  const auto t0 = std::chrono::steady_clock::now();
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    pfair::bench::BenchReport report;
+    report.bench = "micro_sched";
+    report.wall_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    report.ctx = &ctx;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "bench_micro_sched: cannot open " << json_path << "\n";
+      return 2;
+    }
+    out << pfair::bench::bench_report_json(report);
+    std::cerr << "bench_micro_sched: report written to " << json_path << "\n";
+  }
+  return 0;
+}

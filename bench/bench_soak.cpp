@@ -7,6 +7,8 @@
 
 #include "pfair/pfair.hpp"
 
+#include "bench_main.hpp"
+
 namespace {
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -17,7 +19,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== S1: scale soak (M = 16, horizon 240) ===\n\n";
 
@@ -101,3 +103,5 @@ int main() {
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("soak", run_bench)

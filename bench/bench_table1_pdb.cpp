@@ -13,6 +13,8 @@
 
 #include "pfair/pfair.hpp"
 
+#include "bench_main.hpp"
+
 namespace {
 
 using namespace pfair;
@@ -100,7 +102,7 @@ void audit_run(const TaskSystem& sys, Audit* a) {
 
 }  // namespace
 
-int main() {
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== T1: Table 1 — PD^B priority-definition audit ===\n\n";
   Audit audit;
@@ -128,3 +130,5 @@ int main() {
   std::cout << "shape check: " << (audit.clean() ? "PASS" : "FAIL") << '\n';
   return audit.clean() ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("table1_pdb", run_bench)

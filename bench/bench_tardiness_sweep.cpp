@@ -8,7 +8,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== TH3 sweep: PD2-DVQ tardiness distribution ===\n\n";
 
@@ -95,3 +97,5 @@ int main() {
             << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("tardiness_sweep", run_bench)

@@ -14,7 +14,9 @@
 
 #include "pfair/pfair.hpp"
 
-int main() {
+#include "bench_main.hpp"
+
+int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
   std::cout << "=== TH1-TH3: tardiness bounds under DVQ and PD^B ===\n\n";
 
@@ -104,3 +106,5 @@ int main() {
             << (all_ok ? "PASS" : "FAIL") << '\n';
   return all_ok ? 0 : 1;
 }
+
+PFAIR_BENCH_MAIN("theorem_tardiness", run_bench)

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Machine-readable bench smoke: Release build, a few representative
+# benches with --json, and a schema check on every report produced.
+# Usage: scripts/bench_smoke.sh [build-dir]   (default build-rel)
+set -e
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-rel}"
+
+cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target \
+  bench_fig2_models bench_table1_pdb bench_micro_sched >/dev/null
+
+OUT="$BUILD/bench-reports"
+mkdir -p "$OUT"
+"$BUILD/bench/bench_fig2_models" --json="$OUT/BENCH_fig2_models.json" \
+  >/dev/null
+"$BUILD/bench/bench_table1_pdb" --json="$OUT/BENCH_table1_pdb.json" \
+  >/dev/null
+# Keep the google-benchmark run fast: one cheap case is enough to prove
+# the report path.
+"$BUILD/bench/bench_micro_sched" --json="$OUT/BENCH_micro_sched.json" \
+  --benchmark_filter=BM_WindowMath >/dev/null 2>&1
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT"/BENCH_*.json <<'EOF'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("schema", "bench", "git", "ok", "exit_code", "repetitions",
+                "wall_ms", "values", "cases", "metrics"):
+        assert key in doc, f"{path}: missing {key!r}"
+    assert doc["schema"] == "pfair-bench-v1", f"{path}: bad schema"
+    for key in ("min", "median", "max", "all"):
+        assert key in doc["wall_ms"], f"{path}: wall_ms missing {key!r}"
+    assert doc["ok"] is True, f"{path}: bench reported failure"
+    print(f"{path}: OK ({doc['bench']} @ {doc['git']})")
+EOF
+else
+  echo "bench_smoke: python3 not found, skipping schema validation" >&2
+fi
+echo "bench smoke complete — reports in $OUT"

@@ -8,4 +8,5 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
 build/examples/figure_gallery figures
+scripts/bench_smoke.sh
 echo "reproduction complete — figures/ regenerated, all shape checks above"

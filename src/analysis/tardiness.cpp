@@ -121,4 +121,60 @@ std::vector<std::int64_t> tardiness_values_ticks(const TaskSystem& sys,
       });
 }
 
+namespace {
+
+template <class Sched, class TardFn, class PlacedFn>
+void record_metrics(const TaskSystem& sys, const Sched& sched,
+                    MetricsRegistry& reg, TardFn tard_ticks,
+                    PlacedFn placed) {
+  Histogram& overall = reg.histogram("sched.tardiness_ticks");
+  std::int64_t max_ticks = 0, unscheduled = 0;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    Histogram& per_task =
+        reg.histogram("task." + task.name() + ".tardiness_ticks");
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      if (!placed(sched, ref)) {
+        ++unscheduled;
+        continue;
+      }
+      const std::int64_t t = tard_ticks(sys, sched, ref);
+      overall.add(t);
+      per_task.add(t);
+      max_ticks = std::max(max_ticks, t);
+    }
+  }
+  reg.gauge("sched.tardiness_max_ticks").set_max(max_ticks);
+  reg.gauge("sched.unscheduled_subtasks").set(unscheduled);
+}
+
+}  // namespace
+
+void record_tardiness_metrics(const TaskSystem& sys,
+                              const SlotSchedule& sched,
+                              MetricsRegistry& reg) {
+  record_metrics(
+      sys, sched, reg,
+      [](const TaskSystem& y, const SlotSchedule& c, const SubtaskRef& r) {
+        return subtask_tardiness(y, c, r) * kTicksPerSlot;
+      },
+      [](const SlotSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).scheduled();
+      });
+}
+
+void record_tardiness_metrics(const TaskSystem& sys,
+                              const DvqSchedule& sched,
+                              MetricsRegistry& reg) {
+  record_metrics(
+      sys, sched, reg,
+      [](const TaskSystem& y, const DvqSchedule& c, const SubtaskRef& r) {
+        return subtask_tardiness_ticks(y, c, r);
+      },
+      [](const DvqSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).placed;
+      });
+}
+
 }  // namespace pfair

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dvq/dvq_schedule.hpp"
+#include "obs/metrics.hpp"
 #include "sched/schedule.hpp"
 
 namespace pfair {
@@ -55,5 +56,18 @@ struct TardinessSummary {
     const TaskSystem& sys, const SlotSchedule& sched);
 [[nodiscard]] std::vector<std::int64_t> tardiness_values_ticks(
     const TaskSystem& sys, const DvqSchedule& sched);
+
+/// Records the schedule's tardiness distribution into `reg`: the overall
+/// "sched.tardiness_ticks" histogram plus one
+/// "task.<name>.tardiness_ticks" histogram per task, and gauges
+/// "sched.tardiness_max_ticks" / "sched.unscheduled_subtasks" — the
+/// snapshot the per-run metrics JSON reports.  Unscheduled subtasks are
+/// counted, not histogrammed.
+void record_tardiness_metrics(const TaskSystem& sys,
+                              const SlotSchedule& sched,
+                              MetricsRegistry& reg);
+void record_tardiness_metrics(const TaskSystem& sys,
+                              const DvqSchedule& sched,
+                              MetricsRegistry& reg);
 
 }  // namespace pfair

@@ -1,0 +1,31 @@
+// Reconstructs the classic per-instant `DvqDecision` log from the
+// structured trace-event stream, and appends it to a `DvqSchedule`.
+//
+// This is how `DvqOptions::log_decisions` (deprecated) is implemented
+// now: the simulator installs one of these internally, so the legacy
+// decision log and any user-installed TraceSink observe the very same
+// events.  One decision spans the events between two kEventBegin
+// boundaries; it is committed on flush() (end of the simulator step)
+// and only if at least one subtask started — exactly the instants the
+// old ad-hoc logger recorded.
+#pragma once
+
+#include "dvq/dvq_schedule.hpp"
+#include "obs/trace.hpp"
+
+namespace pfair {
+
+class DvqDecisionSink final : public TraceSink {
+ public:
+  /// The schedule must outlive the sink.
+  explicit DvqDecisionSink(DvqSchedule& sched) : sched_(&sched) {}
+
+  void on_event(const TraceEvent& e) override;
+  void flush() override;
+
+ private:
+  DvqSchedule* sched_;
+  DvqDecision cur_;
+};
+
+}  // namespace pfair

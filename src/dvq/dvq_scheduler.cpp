@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "dvq/dvq_simulator.hpp"
+#include "obs/metrics.hpp"
 #include "sched/sfq_scheduler.hpp"
 
 namespace pfair {
@@ -12,7 +13,16 @@ DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
   const std::int64_t slot_limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
   DvqSimulator sim(sys, yields, opts.policy, opts.log_decisions);
+  if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
+  if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
   sim.run_until(Time::slots(slot_limit));
+  if (opts.metrics != nullptr) {
+    const DvqSchedule& sched = sim.schedule();
+    std::int64_t busy = 0;
+    for (const std::int64_t b : sched.busy_ticks()) busy += b;
+    opts.metrics->gauge("sched.idle_ticks")
+        .set(sched.makespan().raw_ticks() * sys.processors() - busy);
+  }
   return std::move(sim).take_schedule();
 }
 

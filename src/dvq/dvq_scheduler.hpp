@@ -17,13 +17,27 @@
 
 namespace pfair {
 
+class TraceSink;        // obs/trace.hpp
+class MetricsRegistry;  // obs/metrics.hpp
+
 struct DvqOptions {
   Policy policy = Policy::kPd2;
-  /// Record per-instant decision logs (needed by the blocking analysis;
-  /// costs memory on big runs).
+  /// DEPRECATED — record per-instant decision logs (needed by the
+  /// blocking analysis; costs memory on big runs).  Kept for one release
+  /// of back-compat (from 2026-08): it is now an alias that installs an
+  /// internal DvqDecisionSink, so existing callers see the identical
+  /// `DvqSchedule::decisions()` log.  New code should install `trace`
+  /// (e.g. a RingBufferSink or a DvqDecisionSink) instead.
   bool log_decisions = false;
   /// Hard stop, in slots (0 = automatic, as for the SFQ scheduler).
   std::int64_t horizon_limit = 0;
+  /// Optional structured trace receiver (not owned; see obs/trace.hpp).
+  /// An instrumented run produces a bit-identical schedule.
+  TraceSink* trace = nullptr;
+  /// Optional metrics registry (not owned); sched.* counters and
+  /// histograms accumulate into it, plus a final "sched.idle_ticks"
+  /// gauge (capacity minus busy time over the makespan).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs the DVQ scheduler with actual execution costs drawn from `yields`.

@@ -9,12 +9,15 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
     : sys_(&sys),
       yields_(&yields),
       order_(sys, policy),
-      log_decisions_(log_decisions),
       sched_(sys),
       procs_(static_cast<std::size_t>(sys.processors())),
       head_(static_cast<std::size_t>(sys.num_tasks()), 0),
       ready_at_(static_cast<std::size_t>(sys.num_tasks())),
       remaining_(sys.total_subtasks()) {
+  if (log_decisions) {
+    decision_sink_ = std::make_unique<DvqDecisionSink>(sched_);
+    set_trace_sink(nullptr);  // wires the internal sink into the probe
+  }
   for (std::size_t k = 0; k < head_.size(); ++k) {
     const Task& task = sys.task(static_cast<std::int64_t>(k));
     if (task.num_subtasks() > 0) {
@@ -24,12 +27,28 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
   }
 }
 
+void DvqSimulator::set_trace_sink(TraceSink* sink) {
+  user_sink_ = sink;
+  TraceSink* effective = user_sink_;
+  if (decision_sink_ != nullptr) {
+    if (effective != nullptr) {
+      tee_ = std::make_unique<TeeSink>(decision_sink_.get(), effective);
+      effective = tee_.get();
+    } else {
+      effective = decision_sink_.get();
+    }
+  }
+  probe_.set_sink(effective);
+}
+
 std::vector<SubtaskRef> DvqSimulator::step() {
   std::vector<SubtaskRef> started;
   if (events_.empty()) return started;
   const Time t = events_.top();
   while (!events_.empty() && events_.top() == t) events_.pop();
   now_ = t;
+  const bool obs = probe_.enabled();
+  if (obs) probe_.begin_decision(TraceEventKind::kEventBegin, t);
 
   // 1. Retire completions at t; newly-ready successors join this batch.
   for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
@@ -50,7 +69,13 @@ std::vector<SubtaskRef> DvqSimulator::step() {
 
   // 2. Free processors and ready subtasks.
   std::vector<int> free_procs = idle_processors();
-  if (free_procs.empty()) return started;
+  if (free_procs.empty()) {
+    if (obs) probe_.end_decision();
+    return started;
+  }
+  if (obs) {
+    for (const int p : free_procs) probe_.proc_free(t, p);
+  }
   std::vector<SubtaskRef> ready;
   for (std::size_t k = 0; k < head_.size(); ++k) {
     const Task& task = sys_->task(static_cast<std::int64_t>(k));
@@ -59,26 +84,33 @@ std::vector<SubtaskRef> DvqSimulator::step() {
     ready.push_back(SubtaskRef{static_cast<std::int32_t>(k),
                                static_cast<std::int32_t>(head_[k])});
   }
-  if (ready.empty()) return started;
+  if (obs) probe_.ready_set(t, static_cast<std::int64_t>(ready.size()));
+  if (ready.empty()) {
+    if (obs) {
+      probe_.idle(t, static_cast<std::int64_t>(free_procs.size()));
+      probe_.end_decision();
+    }
+    return started;
+  }
 
   // 3. Assign in priority order, immediately (work-conserving).
   const auto m = std::min(free_procs.size(), ready.size());
-  std::partial_sort(ready.begin(),
-                    ready.begin() + static_cast<std::ptrdiff_t>(m),
-                    ready.end(),
-                    [this](const SubtaskRef& a, const SubtaskRef& b) {
-                      return order_.higher(a, b);
-                    });
-  DvqDecision dec;
-  if (log_decisions_) {
-    dec.at = t;
-    dec.free_procs = free_procs;
+  if (!obs) [[likely]] {
+    std::partial_sort(ready.begin(),
+                      ready.begin() + static_cast<std::ptrdiff_t>(m),
+                      ready.end(),
+                      [this](const SubtaskRef& a, const SubtaskRef& b) {
+                        return order_.higher(a, b);
+                      });
+  } else {
+    sort_ready_instrumented(ready, m, t);
   }
   for (std::size_t r = 0; r < m; ++r) {
     const SubtaskRef ref = ready[r];
     const Time c = yields_->checked_cost(*sys_, ref);
     const int proc = free_procs[r];
     sched_.place(ref, t, c, proc);
+    if (obs) [[unlikely]] note_placement(t, ref, proc, c);
     Proc& pr = procs_[static_cast<std::size_t>(proc)];
     pr.busy = true;
     pr.busy_until = t + c;
@@ -96,15 +128,61 @@ std::vector<SubtaskRef> DvqSimulator::step() {
           Time::slots(task_k.subtask(head_[k]).eligible), pr.busy_until);
     }
     started.push_back(ref);
-    if (log_decisions_) dec.started.push_back(ref);
   }
-  if (log_decisions_) {
+  if (obs) {
+    // Ready subtasks left unserved at this instant (the paper's blocked
+    // work) and capacity beyond the ready set.
     for (std::size_t r = m; r < ready.size(); ++r) {
-      dec.left_ready.push_back(ready[r]);
+      probe_.preempt(t, ready[r]);
     }
-    sched_.log_decision(std::move(dec));
+    if (m < free_procs.size()) {
+      probe_.idle(t, static_cast<std::int64_t>(free_procs.size() - m));
+    }
+    probe_.end_decision();
   }
   return started;
+}
+
+// noinline: this lives on the instrumented path only; folding it into
+// step() costs the *uninstrumented* path measurable icache pressure.
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void DvqSimulator::sort_ready_instrumented(std::vector<SubtaskRef>& ready,
+                                           std::size_t m, Time t) {
+  std::int64_t ncmp = 0;
+  const bool tracing = probe_.tracing();
+  std::partial_sort(
+      ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(m),
+      ready.end(),
+      [this, t, tracing, &ncmp](const SubtaskRef& a, const SubtaskRef& b) {
+        ++ncmp;
+        TieRule rule = TieRule::kTie;
+        const int c = order_.compare(a, b, &rule);
+        const bool a_wins = c != 0 ? c < 0 : a < b;
+        if (tracing) {
+          probe_.compare_outcome(t, a_wins ? a : b, a_wins ? b : a, rule);
+        }
+        return a_wins;
+      });
+  probe_.comparisons(ncmp);
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void DvqSimulator::note_placement(Time t, SubtaskRef ref, int proc,
+                                  Time c) {
+  probe_.place(t, ref, proc, c.raw_ticks());
+  if (ref.seq > 0) {
+    const int prev = sched_.placement(SubtaskRef{ref.task, ref.seq - 1}).proc;
+    if (prev >= 0 && prev != proc) probe_.migrate(t, ref, prev, proc);
+  }
+  const Time completion = t + c;
+  const std::int64_t tard = std::max<std::int64_t>(
+      0, completion.raw_ticks() -
+             sys_->subtask(ref).deadline * kTicksPerSlot);
+  probe_.deadline(t, ref, tard);
 }
 
 void DvqSimulator::run_until(Time time_limit) {

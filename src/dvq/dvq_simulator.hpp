@@ -6,11 +6,14 @@
 // the batch and incremental paths behaviourally identical.
 #pragma once
 
+#include <memory>
 #include <queue>
 #include <vector>
 
+#include "dvq/decision_sink.hpp"
 #include "dvq/dvq_schedule.hpp"
 #include "dvq/yield.hpp"
+#include "obs/probe.hpp"
 #include "sched/priority.hpp"
 
 namespace pfair {
@@ -21,6 +24,10 @@ struct DvqOptions;  // dvq/dvq_scheduler.hpp
 /// model must outlive the simulator.
 class DvqSimulator {
  public:
+  /// `log_decisions` is DEPRECATED: it is now an alias that installs an
+  /// internal DvqDecisionSink (see dvq/decision_sink.hpp) and will be
+  /// removed one release after 2026-08.  New code should install a
+  /// TraceSink via set_trace_sink() instead.
   DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
                Policy policy = Policy::kPd2, bool log_decisions = false);
 
@@ -47,11 +54,30 @@ class DvqSimulator {
   [[nodiscard]] const DvqSchedule& schedule() const { return sched_; }
   [[nodiscard]] DvqSchedule take_schedule() && { return std::move(sched_); }
 
+  /// Installs a structured trace sink (not owned; null uninstalls).  It
+  /// observes the same event stream as the deprecated decision log, and
+  /// an instrumented run places every subtask identically.
+  void set_trace_sink(TraceSink* sink);
+  /// Accumulates sched.* metrics (see obs/probe.hpp) into `reg`, which
+  /// must outlive the simulator.
+  void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
+
  private:
+  // Cold counterpart of the plain partial_sort in step(): identical
+  // ordering, plus comparison counts and per-comparison trace events.
+  // Out of line so the uninstrumented path stays compact.
+  void sort_ready_instrumented(std::vector<SubtaskRef>& ready,
+                               std::size_t m, Time t);
+  // Cold: trace/metrics bookkeeping for one placement.
+  void note_placement(Time t, SubtaskRef ref, int proc, Time c);
+
   const TaskSystem* sys_;
   const YieldModel* yields_;
   PriorityOrder order_;
-  bool log_decisions_;
+  SchedProbe probe_;
+  TraceSink* user_sink_ = nullptr;
+  std::unique_ptr<DvqDecisionSink> decision_sink_;  // log_decisions alias
+  std::unique_ptr<TeeSink> tee_;
   DvqSchedule sched_;
 
   struct Proc {

@@ -26,6 +26,37 @@ void emit_event(std::ostream& os, bool& first, const std::string& name,
      << R"(, "tardiness_ticks": )" << tardiness_ticks << "}}";
 }
 
+/// Renders a scheduler trace event as a thread-scoped instant event.
+/// Processor-less events land on tid M, a synthetic "scheduler" row.
+void emit_instants(std::ostream& os, bool& first, const TaskSystem& sys,
+                   std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kCompare) continue;
+    if (first) {
+      first = false;
+    } else {
+      os << ",\n";
+    }
+    const int tid = e.proc >= 0 ? e.proc : sys.processors();
+    os << R"(  {"name": ")" << to_string(e.kind)
+       << R"(", "cat": "decision", "ph": "i", "s": "t", "pid": 1, "tid": )"
+       << tid << R"(, "ts": )" << to_trace_us(e.at) << R"(, "args": {)";
+    bool farg = true;
+    auto arg = [&](const char* key, std::int64_t v) {
+      if (!farg) os << ", ";
+      farg = false;
+      os << '"' << key << "\": " << v;
+    };
+    if (e.subject.valid()) {
+      arg("task", e.subject.task);
+      arg("seq", e.subject.seq);
+    }
+    if (e.aux != 0) arg("aux", e.aux);
+    arg("d", e.detail);
+    os << "}}";
+  }
+}
+
 }  // namespace
 
 CsvWriter export_task_system(const TaskSystem& sys) {
@@ -90,6 +121,17 @@ CsvWriter export_dvq_schedule(const TaskSystem& sys,
 
 std::string export_chrome_trace(const TaskSystem& sys,
                                 const DvqSchedule& sched) {
+  return export_chrome_trace(sys, sched, {});
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const SlotSchedule& sched) {
+  return export_chrome_trace(sys, sched, {});
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const DvqSchedule& sched,
+                                std::span<const TraceEvent> events) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -106,12 +148,14 @@ std::string export_chrome_trace(const TaskSystem& sys,
                  subtask_tardiness_ticks(sys, sched, ref));
     }
   }
+  emit_instants(os, first, sys, events);
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();
 }
 
 std::string export_chrome_trace(const TaskSystem& sys,
-                                const SlotSchedule& sched) {
+                                const SlotSchedule& sched,
+                                std::span<const TraceEvent> events) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -128,6 +172,7 @@ std::string export_chrome_trace(const TaskSystem& sys,
                  subtask_tardiness(sys, sched, ref) * kTicksPerSlot);
     }
   }
+  emit_instants(os, first, sys, events);
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();
 }

@@ -2,8 +2,11 @@
 // plotting (each bench can dump its raw data).
 #pragma once
 
+#include <span>
+
 #include "dvq/dvq_schedule.hpp"
 #include "io/csv.hpp"
+#include "obs/trace.hpp"
 #include "sched/schedule.hpp"
 
 namespace pfair {
@@ -25,9 +28,22 @@ namespace pfair {
 /// trace"): one complete event per placed subtask, processors as
 /// threads, 1 slot = 1000 trace microseconds.  Works for both schedule
 /// kinds (slot schedules occupy whole quanta).
+///
+/// The `events` overloads additionally render a captured scheduler
+/// trace (e.g. a RingBufferSink snapshot) as instant events — decision
+/// boundaries, preemptions, migrations, deadline outcomes — on the
+/// processor rows (tid M is the "scheduler" row for processor-less
+/// events).  kCompare events are skipped: they dominate the stream and
+/// drown the timeline.
 [[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
                                               const DvqSchedule& sched);
 [[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
                                               const SlotSchedule& sched);
+[[nodiscard]] std::string export_chrome_trace(
+    const TaskSystem& sys, const DvqSchedule& sched,
+    std::span<const TraceEvent> events);
+[[nodiscard]] std::string export_chrome_trace(
+    const TaskSystem& sys, const SlotSchedule& sched,
+    std::span<const TraceEvent> events);
 
 }  // namespace pfair

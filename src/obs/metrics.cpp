@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace pfair {
+
+namespace detail {
+
+std::size_t metrics_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricsStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+void Gauge::set_max(std::int64_t x) noexcept {
+  std::int64_t cur = v_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::add(std::int64_t x) noexcept {
+  const int b =
+      x <= 0 ? 0
+             : 64 - std::countl_zero(static_cast<std::uint64_t>(x));
+  buckets_[static_cast<std::size_t>(b)].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample initializes min/max; racing first samples fall
+    // through to the CAS loops below, so the result is still exact.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !min_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    if (hs.count > 0) {
+      hs.min = h->min();
+      hs.max = h->max();
+    }
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::int64_t n = h->bucket(b);
+      if (n != 0) hs.buckets.emplace_back(b, n);
+    }
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace pfair

@@ -1,0 +1,19 @@
+#include "obs/probe.hpp"
+
+namespace pfair {
+
+void SchedProbe::attach_metrics(MetricsRegistry& reg) {
+  invocations_ = &reg.counter(sched_metrics::kInvocations);
+  comparisons_ = &reg.counter(sched_metrics::kComparisons);
+  placements_ = &reg.counter(sched_metrics::kPlacements);
+  preemptions_ = &reg.counter(sched_metrics::kPreemptions);
+  migrations_ = &reg.counter(sched_metrics::kMigrations);
+  idle_quanta_ = &reg.counter(sched_metrics::kIdleQuanta);
+  deadline_misses_ = &reg.counter(sched_metrics::kDeadlineMisses);
+  ready_size_ = &reg.histogram(sched_metrics::kReadySetSize);
+  compares_per_decision_ =
+      &reg.histogram(sched_metrics::kComparesPerDecision);
+  tardiness_ = &reg.histogram(sched_metrics::kTardinessTicks);
+}
+
+}  // namespace pfair

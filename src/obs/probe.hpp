@@ -1,0 +1,189 @@
+// SchedProbe — the single instrumentation point the simulators carry.
+//
+// A probe bundles an optional TraceSink with optional pre-resolved
+// metric handles.  Every hook is inline and starts with a null check,
+// so an unconfigured probe costs one predictable branch per call site
+// and touches no memory; `enabled()` lets hot loops skip whole
+// instrumentation blocks (ready-set scans, per-compare tracing) in one
+// test.  Attaching metrics resolves registry names once, up front —
+// the per-event path never does a string lookup.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfair {
+
+/// Metric names used by `SchedProbe::attach_metrics`.
+namespace sched_metrics {
+inline constexpr const char* kInvocations = "sched.invocations";
+inline constexpr const char* kComparisons = "sched.comparisons";
+inline constexpr const char* kPlacements = "sched.placements";
+inline constexpr const char* kPreemptions = "sched.preemptions";
+inline constexpr const char* kMigrations = "sched.migrations";
+inline constexpr const char* kIdleQuanta = "sched.idle_quanta";
+inline constexpr const char* kDeadlineMisses = "sched.deadline_misses";
+inline constexpr const char* kReadySetSize = "sched.ready_set_size";
+inline constexpr const char* kComparesPerDecision =
+    "sched.comparisons_per_decision";
+inline constexpr const char* kTardinessTicks = "sched.tardiness_ticks";
+}  // namespace sched_metrics
+
+class SchedProbe {
+ public:
+  SchedProbe() = default;
+
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  /// Resolves the sched.* metric names in `reg` (stable handles).
+  void attach_metrics(MetricsRegistry& reg);
+
+  [[nodiscard]] bool tracing() const { return sink_ != nullptr; }
+  [[nodiscard]] bool metering() const { return invocations_ != nullptr; }
+  /// True iff any hook would do work — hot loops branch on this once.
+  [[nodiscard]] bool enabled() const { return tracing() || metering(); }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// One scheduler invocation (slot boundary / event instant).
+  void begin_decision(TraceEventKind kind, Time at, std::int64_t detail = 0) {
+    if (invocations_ != nullptr) invocations_->add();
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = kind;
+      e.at = at;
+      e.detail = detail;
+      emit(e);
+    }
+  }
+  /// Commits the decision in grouping sinks (see TraceSink::flush).
+  void end_decision() {
+    if (sink_ != nullptr) sink_->flush();
+  }
+
+  void ready_set(Time at, std::int64_t n) {
+    if (ready_size_ != nullptr) ready_size_->add(n);
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kReadySet;
+      e.at = at;
+      e.detail = n;
+      emit(e);
+    }
+  }
+
+  /// Outcome of one priority comparison (trace-only; counting goes
+  /// through comparisons()).
+  void compare_outcome(Time at, const SubtaskRef& winner,
+                       const SubtaskRef& loser, TieRule rule) {
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kCompare;
+      e.aux = static_cast<std::int32_t>(rule);
+      e.at = at;
+      e.subject = winner;
+      e.other = loser;
+      emit(e);
+    }
+  }
+  /// `n` comparisons performed by one decision.
+  void comparisons(std::int64_t n) {
+    if (comparisons_ != nullptr) comparisons_->add(n);
+    if (compares_per_decision_ != nullptr) compares_per_decision_->add(n);
+  }
+
+  /// `detail`: slot index (SFQ) or cost in ticks (DVQ).
+  void place(Time at, const SubtaskRef& ref, int proc,
+             std::int64_t detail) {
+    if (placements_ != nullptr) placements_->add();
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPlace;
+      e.proc = proc;
+      e.at = at;
+      e.subject = ref;
+      e.detail = detail;
+      emit(e);
+    }
+  }
+
+  void migrate(Time at, const SubtaskRef& ref, int from, int to) {
+    if (migrations_ != nullptr) migrations_->add();
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kMigrate;
+      e.aux = from;
+      e.proc = to;
+      e.at = at;
+      e.subject = ref;
+      emit(e);
+    }
+  }
+
+  void preempt(Time at, const SubtaskRef& ref) {
+    if (preemptions_ != nullptr) preemptions_->add();
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPreempt;
+      e.at = at;
+      e.subject = ref;
+      emit(e);
+    }
+  }
+
+  /// A processor free at a DVQ decision instant (trace-only).
+  void proc_free(Time at, int proc) {
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kProcFree;
+      e.proc = proc;
+      e.at = at;
+      emit(e);
+    }
+  }
+
+  /// `count` processors left without work after a decision.
+  void idle(Time at, std::int64_t count) {
+    if (idle_quanta_ != nullptr) idle_quanta_->add(count);
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kProcIdle;
+      e.at = at;
+      e.detail = count;
+      emit(e);
+    }
+  }
+
+  /// Deadline outcome of a completed subtask.
+  void deadline(Time at, const SubtaskRef& ref,
+                std::int64_t tardiness_ticks) {
+    if (tardiness_ != nullptr) tardiness_->add(tardiness_ticks);
+    if (tardiness_ticks > 0 && deadline_misses_ != nullptr) {
+      deadline_misses_->add();
+    }
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = tardiness_ticks > 0 ? TraceEventKind::kDeadlineMiss
+                                   : TraceEventKind::kDeadlineHit;
+      e.at = at;
+      e.subject = ref;
+      e.detail = tardiness_ticks;
+      emit(e);
+    }
+  }
+
+ private:
+  void emit(const TraceEvent& e) { sink_->on_event(e); }
+
+  TraceSink* sink_ = nullptr;
+  Counter* invocations_ = nullptr;
+  Counter* comparisons_ = nullptr;
+  Counter* placements_ = nullptr;
+  Counter* preemptions_ = nullptr;
+  Counter* migrations_ = nullptr;
+  Counter* idle_quanta_ = nullptr;
+  Counter* deadline_misses_ = nullptr;
+  Histogram* ready_size_ = nullptr;
+  Histogram* compares_per_decision_ = nullptr;
+  Histogram* tardiness_ = nullptr;
+};
+
+}  // namespace pfair

@@ -1,0 +1,114 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace pfair {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSlotBegin:
+      return "slot_begin";
+    case TraceEventKind::kEventBegin:
+      return "event_begin";
+    case TraceEventKind::kReadySet:
+      return "ready_set";
+    case TraceEventKind::kCompare:
+      return "compare";
+    case TraceEventKind::kPlace:
+      return "place";
+    case TraceEventKind::kPreempt:
+      return "preempt";
+    case TraceEventKind::kMigrate:
+      return "migrate";
+    case TraceEventKind::kProcFree:
+      return "proc_free";
+    case TraceEventKind::kProcIdle:
+      return "proc_idle";
+    case TraceEventKind::kDeadlineHit:
+      return "deadline_hit";
+    case TraceEventKind::kDeadlineMiss:
+      return "deadline_miss";
+  }
+  return "?";
+}
+
+const char* to_string(TieRule r) {
+  switch (r) {
+    case TieRule::kDeadline:
+      return "deadline";
+    case TieRule::kBBit:
+      return "bbit";
+    case TieRule::kGroupDeadline:
+      return "group_deadline";
+    case TieRule::kWeight:
+      return "weight";
+    case TieRule::kTie:
+      return "tie";
+  }
+  return "?";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : buf_(capacity) {
+  PFAIR_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+}
+
+void RingBufferSink::on_event(const TraceEvent& e) {
+  buf_[static_cast<std::size_t>(total_ % buf_.size())] = e;
+  ++total_;
+}
+
+std::size_t RingBufferSink::size() const {
+  return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                              : buf_.size();
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  return total_ < buf_.size() ? 0 : total_ - buf_.size();
+}
+
+std::vector<TraceEvent> RingBufferSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i % buf_.size())]);
+  }
+  return out;
+}
+
+std::string trace_event_json(const TraceEvent& e) {
+  std::ostringstream os;
+  os << R"({"k": ")" << to_string(e.kind) << R"(", "t": )"
+     << e.at.raw_ticks();
+  if (e.subject.valid()) {
+    os << R"(, "task": )" << e.subject.task << R"(, "seq": )"
+       << e.subject.seq;
+  }
+  if (e.other.valid()) {
+    os << R"(, "vs_task": )" << e.other.task << R"(, "vs_seq": )"
+       << e.other.seq;
+  }
+  if (e.proc >= 0) os << R"(, "proc": )" << e.proc;
+  if (e.kind == TraceEventKind::kCompare) {
+    os << R"(, "rule": ")" << to_string(static_cast<TieRule>(e.aux))
+       << '"';
+  } else if (e.aux != 0) {
+    os << R"(, "aux": )" << e.aux;
+  }
+  if (e.detail != 0) os << R"(, "d": )" << e.detail;
+  os << '}';
+  return os.str();
+}
+
+void JsonlSink::on_event(const TraceEvent& e) {
+  *os_ << trace_event_json(e) << '\n';
+  ++lines_;
+}
+
+void JsonlSink::flush() { os_->flush(); }
+
+}  // namespace pfair

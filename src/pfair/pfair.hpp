@@ -13,6 +13,10 @@
 #include "core/thread_pool.hpp"  // IWYU pragma: export
 #include "core/time.hpp"         // IWYU pragma: export
 
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/probe.hpp"    // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
 #include "tasks/group_deadline.hpp"  // IWYU pragma: export
 #include "tasks/subtask.hpp"         // IWYU pragma: export
 #include "tasks/task.hpp"            // IWYU pragma: export
@@ -58,8 +62,11 @@
 #include "workload/generator.hpp"      // IWYU pragma: export
 #include "workload/paper_figures.hpp"  // IWYU pragma: export
 
+#include "dvq/decision_sink.hpp"  // IWYU pragma: export
+
 #include "io/csv.hpp"     // IWYU pragma: export
 #include "io/export.hpp"  // IWYU pragma: export
+#include "io/json.hpp"    // IWYU pragma: export
 #include "io/parse.hpp"   // IWYU pragma: export
 #include "io/render.hpp"  // IWYU pragma: export
 #include "io/svg.hpp"     // IWYU pragma: export

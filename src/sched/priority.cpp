@@ -18,35 +18,58 @@ const char* to_string(Policy p) {
   return "?";
 }
 
-int PriorityOrder::compare(const SubtaskRef& a, const SubtaskRef& b) const {
+template <bool kExplain>
+int PriorityOrder::compare_impl(const SubtaskRef& a, const SubtaskRef& b,
+                                TieRule* decided_by) const {
   const Subtask& sa = sys_->subtask(a);
   const Subtask& sb = sys_->subtask(b);
+  auto decide = [&](TieRule rule, int result) {
+    if constexpr (kExplain) {
+      if (decided_by != nullptr) *decided_by = rule;
+    } else {
+      (void)rule;
+    }
+    return result;
+  };
 
   // Rule 1 (all policies): earlier pseudo-deadline first.
-  if (sa.deadline != sb.deadline) return sa.deadline < sb.deadline ? -1 : 1;
-  if (policy_ == Policy::kEpdf) return 0;
+  if (sa.deadline != sb.deadline) {
+    return decide(TieRule::kDeadline, sa.deadline < sb.deadline ? -1 : 1);
+  }
+  if (policy_ == Policy::kEpdf) return decide(TieRule::kTie, 0);
 
-  if (policy_ == Policy::kPf) return compare_pf_bits(a, b);
+  if (policy_ == Policy::kPf) {
+    const int c = compare_pf_bits(a, b);
+    return decide(c == 0 ? TieRule::kTie : TieRule::kBBit, c);
+  }
 
   // Rule 2 (PD, PD2): b-bit 1 beats b-bit 0 — an overlapping window makes
   // postponement costlier.
-  if (sa.bbit != sb.bbit) return sa.bbit ? -1 : 1;
-  if (!sa.bbit) return 0;
+  if (sa.bbit != sb.bbit) return decide(TieRule::kBBit, sa.bbit ? -1 : 1);
+  if (!sa.bbit) return decide(TieRule::kTie, 0);
 
   // Rule 3 (PD, PD2): among b = 1 ties, the *later* group deadline wins —
   // the longer cascade is the harder one to serve later.  Light tasks
   // carry group deadline 0 and therefore lose to any heavy contender.
   if (sa.group_deadline != sb.group_deadline) {
-    return sa.group_deadline > sb.group_deadline ? -1 : 1;
+    return decide(TieRule::kGroupDeadline,
+                  sa.group_deadline > sb.group_deadline ? -1 : 1);
   }
-  if (policy_ == Policy::kPd2) return 0;
+  if (policy_ == Policy::kPd2) return decide(TieRule::kTie, 0);
 
   // PD refinement (see header): heavier weight first.
   const Rational wa = sys_->task(a.task).weight().value();
   const Rational wb = sys_->task(b.task).weight().value();
-  if (wa != wb) return wa > wb ? -1 : 1;
-  return 0;
+  if (wa != wb) return decide(TieRule::kWeight, wa > wb ? -1 : 1);
+  return decide(TieRule::kTie, 0);
 }
+
+template int PriorityOrder::compare_impl<false>(const SubtaskRef& a,
+                                                const SubtaskRef& b,
+                                                TieRule* decided_by) const;
+template int PriorityOrder::compare_impl<true>(const SubtaskRef& a,
+                                               const SubtaskRef& b,
+                                               TieRule* decided_by) const;
 
 int PriorityOrder::compare_pf_bits(const SubtaskRef& a,
                                    const SubtaskRef& b) const {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "tasks/task_system.hpp"
 
 namespace pfair {
@@ -40,7 +41,19 @@ class PriorityOrder {
 
   /// <0: a has strictly higher priority; 0: genuine tie under the policy's
   /// rules; >0: a strictly lower.  This is the paper's ≺ / ⪯.
-  [[nodiscard]] int compare(const SubtaskRef& a, const SubtaskRef& b) const;
+  [[nodiscard]] int compare(const SubtaskRef& a, const SubtaskRef& b) const {
+    return compare_impl<false>(a, b, nullptr);
+  }
+
+  /// `compare` that additionally reports which rule decided the outcome
+  /// (TieRule::kTie for a genuine tie).  Both overloads share one rule
+  /// body (the explain bookkeeping compiles out of the plain one), so
+  /// the returned ordering is identical and tracing a run cannot change
+  /// its schedule.
+  [[nodiscard]] int compare(const SubtaskRef& a, const SubtaskRef& b,
+                            TieRule* decided_by) const {
+    return compare_impl<true>(a, b, decided_by);
+  }
 
   /// Paper's T_a ⪯ T_b: "priority of a is at least that of b".
   [[nodiscard]] bool at_least(const SubtaskRef& a, const SubtaskRef& b) const {
@@ -61,6 +74,10 @@ class PriorityOrder {
   }
 
  private:
+  template <bool kExplain>
+  [[nodiscard]] int compare_impl(const SubtaskRef& a, const SubtaskRef& b,
+                                 TieRule* decided_by) const;
+
   [[nodiscard]] int compare_pf_bits(const SubtaskRef& a,
                                     const SubtaskRef& b) const;
 

@@ -19,6 +19,8 @@ SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
   const std::int64_t limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
   SfqSimulator sim(sys, opts.policy);
+  if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
+  if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
   sim.run_until(limit);
   return std::move(sim).take_schedule();
 }

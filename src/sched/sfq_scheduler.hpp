@@ -15,6 +15,9 @@
 
 namespace pfair {
 
+class TraceSink;        // obs/trace.hpp
+class MetricsRegistry;  // obs/metrics.hpp
+
 /// Options for one SFQ run.
 struct SfqOptions {
   Policy policy = Policy::kPd2;
@@ -22,6 +25,12 @@ struct SfqOptions {
   /// 0 = automatic: max deadline plus a tardiness allowance (generous for
   /// suboptimal policies / infeasible systems).
   std::int64_t horizon_limit = 0;
+  /// Optional structured trace receiver (not owned; see obs/trace.hpp).
+  /// An instrumented run produces a bit-identical schedule.
+  TraceSink* trace = nullptr;
+  /// Optional metrics registry (not owned); sched.* counters and
+  /// histograms accumulate into it (see obs/probe.hpp).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs the SFQ scheduler to completion (or to the horizon limit).

@@ -31,19 +31,27 @@ std::vector<SubtaskRef> SfqSimulator::ready() const {
 }
 
 std::vector<SubtaskRef> SfqSimulator::step() {
+  const bool obs = probe_.enabled();
+  const Time at = Time::slots(now_);
+  if (obs) probe_.begin_decision(TraceEventKind::kSlotBegin, at, now_);
   std::vector<SubtaskRef> picks = ready();
   const auto m = std::min<std::size_t>(
       static_cast<std::size_t>(sys_->processors()), picks.size());
-  std::partial_sort(picks.begin(),
-                    picks.begin() + static_cast<std::ptrdiff_t>(m),
-                    picks.end(),
-                    [this](const SubtaskRef& a, const SubtaskRef& b) {
-                      return order_.higher(a, b);
-                    });
+  if (!obs) [[likely]] {
+    std::partial_sort(picks.begin(),
+                      picks.begin() + static_cast<std::ptrdiff_t>(m),
+                      picks.end(),
+                      [this](const SubtaskRef& a, const SubtaskRef& b) {
+                        return order_.higher(a, b);
+                      });
+  } else {
+    sort_picks_instrumented(picks, m, at);
+  }
   picks.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
     const SubtaskRef ref = picks[r];
     sched_.place(ref, now_, static_cast<int>(r));
+    if (obs) [[unlikely]] note_placement(at, ref, static_cast<int>(r));
     const auto k = static_cast<std::size_t>(ref.task);
     ++head_[k];
     last_slot_[k] = now_;
@@ -51,7 +59,61 @@ std::vector<SubtaskRef> SfqSimulator::step() {
     --remaining_;
   }
   ++now_;
+  if (obs) probe_.end_decision();
   return picks;
+}
+
+// noinline: instrumented-path-only code; folding these into step() costs
+// the *uninstrumented* path measurable icache pressure.
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void SfqSimulator::sort_picks_instrumented(std::vector<SubtaskRef>& picks,
+                                           std::size_t m, Time at) {
+  probe_.ready_set(at, static_cast<std::int64_t>(picks.size()));
+  // Instrumented comparator: identical ordering (same compare + same id
+  // tie-break), with the comparison count and — when tracing — the
+  // deciding rule reported on the side.
+  std::int64_t ncmp = 0;
+  const bool tracing = probe_.tracing();
+  std::partial_sort(
+      picks.begin(), picks.begin() + static_cast<std::ptrdiff_t>(m),
+      picks.end(),
+      [this, at, tracing, &ncmp](const SubtaskRef& a, const SubtaskRef& b) {
+        ++ncmp;
+        TieRule rule = TieRule::kTie;
+        const int c = order_.compare(a, b, &rule);
+        const bool a_wins = c != 0 ? c < 0 : a < b;
+        if (tracing) {
+          probe_.compare_outcome(at, a_wins ? a : b, a_wins ? b : a, rule);
+        }
+        return a_wins;
+      });
+  probe_.comparisons(ncmp);
+  // Tasks that held a processor in the previous slot and are ready but
+  // lost out in this one were preempted; unused capacity is idle.
+  for (std::size_t r = m; r < picks.size(); ++r) {
+    const auto k = static_cast<std::size_t>(picks[r].task);
+    if (last_slot_[k] == now_ - 1) probe_.preempt(at, picks[r]);
+  }
+  const auto procs = static_cast<std::size_t>(sys_->processors());
+  if (m < procs) {
+    probe_.idle(at, static_cast<std::int64_t>(procs - m));
+  }
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void SfqSimulator::note_placement(Time at, SubtaskRef ref, int proc) {
+  probe_.place(at, ref, proc, now_);
+  if (ref.seq > 0) {
+    const int prev = sched_.placement(SubtaskRef{ref.task, ref.seq - 1}).proc;
+    if (prev >= 0 && prev != proc) probe_.migrate(at, ref, prev, proc);
+  }
+  const std::int64_t tard_slots =
+      std::max<std::int64_t>(0, now_ + 1 - sys_->subtask(ref).deadline);
+  probe_.deadline(at, ref, tard_slots * kTicksPerSlot);
 }
 
 void SfqSimulator::run_until(std::int64_t slot_limit) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rational.hpp"
+#include "obs/probe.hpp"
 #include "sched/priority.hpp"
 #include "sched/schedule.hpp"
 
@@ -49,8 +50,24 @@ class SfqSimulator {
   /// drift of task `task` at the current boundary.
   [[nodiscard]] Rational lag_of(std::int64_t task) const;
 
+  /// Installs a structured trace sink (not owned; may be null to
+  /// uninstall).  With no sink and no metrics attached, step() takes the
+  /// uninstrumented path and the schedule produced is bit-identical.
+  void set_trace_sink(TraceSink* sink) { probe_.set_sink(sink); }
+  /// Accumulates sched.* metrics (see obs/probe.hpp) into `reg`, which
+  /// must outlive the simulator.
+  void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
+
  private:
+  // Cold counterparts of step()'s plain sort / placement bookkeeping:
+  // identical behaviour plus trace/metrics reporting, kept out of line so
+  // the uninstrumented path stays compact.
+  void sort_picks_instrumented(std::vector<SubtaskRef>& picks,
+                               std::size_t m, Time at);
+  void note_placement(Time at, SubtaskRef ref, int proc);
+
   const TaskSystem* sys_;
+  SchedProbe probe_;
   PriorityOrder order_;
   SlotSchedule sched_;
   std::vector<std::int64_t> head_;

@@ -1,12 +1,17 @@
 // Tests for the rendering / table / CSV helpers.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "dvq/dvq_scheduler.hpp"
 #include "io/csv.hpp"
+#include "io/export.hpp"
+#include "io/json.hpp"
 #include "io/render.hpp"
 #include "io/table.hpp"
+#include "obs/trace.hpp"
 #include "sched/sfq_scheduler.hpp"
 #include "workload/paper_figures.hpp"
 
@@ -94,6 +99,79 @@ TEST(Csv, RowWidthChecked) {
   CsvWriter w;
   w.header({"x", "y"});
   EXPECT_THROW(w.row({"1"}), ContractViolation);
+}
+
+TEST(ChromeTrace, SlotScheduleEventsMatchPlacements) {
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule sched = schedule_sfq(sys);
+  const JsonValue doc = parse_json(export_chrome_trace(sys, sched));
+  const JsonValue& evs = doc.at("traceEvents");
+  ASSERT_TRUE(evs.is(JsonValue::Kind::kArray));
+
+  std::int64_t placed = 0;
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      if (sched.placement(SubtaskRef{k, s}).scheduled()) ++placed;
+    }
+  }
+  std::int64_t complete = 0;
+  for (const JsonValue& e : evs.array) {
+    ASSERT_EQ(e.at("ph").string, "X");
+    ++complete;
+  }
+  EXPECT_EQ(complete, placed);
+}
+
+TEST(ChromeTrace, TidIsThePlacementProcessor) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 4));
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields);
+  const JsonValue doc = parse_json(export_chrome_trace(sc.system, sched));
+
+  // Index expected (name, tid) pairs from the schedule itself.
+  std::map<std::string, int> proc_of;
+  for (std::int32_t k = 0; k < sc.system.num_tasks(); ++k) {
+    const Task& task = sc.system.task(k);
+    for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+      const DvqPlacement& p = sched.placement(SubtaskRef{k, s});
+      if (!p.placed) continue;
+      proc_of[task.name() + "_" + std::to_string(task.subtask(s).index)] =
+          p.proc;
+    }
+  }
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    const auto it = proc_of.find(e.at("name").string);
+    ASSERT_NE(it, proc_of.end()) << e.at("name").string;
+    EXPECT_EQ(e.at("tid").integer, it->second);
+  }
+}
+
+TEST(ChromeTrace, CapturedTraceBecomesInstantEvents) {
+  const TaskSystem sys = fig6_system();
+  RingBufferSink sink(1 << 16);
+  SfqOptions opts;
+  opts.trace = &sink;
+  const SlotSchedule sched = schedule_sfq(sys, opts);
+
+  const std::vector<TraceEvent> events = sink.snapshot();
+  const JsonValue doc =
+      parse_json(export_chrome_trace(sys, sched, events));
+  std::int64_t instants = 0, compares = 0;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string != "i") continue;
+    ++instants;
+    if (e.at("name").string == "compare") ++compares;
+  }
+  EXPECT_GT(instants, 0);
+  // kCompare events are deliberately excluded from the timeline.
+  EXPECT_EQ(compares, 0);
+  // Both overloads agree on the complete events.
+  const JsonValue plain = parse_json(export_chrome_trace(sys, sched));
+  std::int64_t complete = 0;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "X") ++complete;
+  }
+  EXPECT_EQ(complete,
+            static_cast<std::int64_t>(plain.at("traceEvents").array.size()));
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+// Tests for the observability layer: trace sinks, metrics, and the
+// guarantee that instrumentation never changes a schedule.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+TraceEvent make_event(std::int64_t detail) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kReadySet;
+  e.at = Time::slots(detail);
+  e.detail = detail;
+  return e;
+}
+
+TEST(RingBufferSink, KeepsNewestAndCountsDrops) {
+  RingBufferSink sink(4);
+  for (std::int64_t i = 0; i < 10; ++i) sink.on_event(make_event(i));
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const std::vector<TraceEvent> got = sink.snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].detail, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(RingBufferSink, PartialFill) {
+  RingBufferSink sink(8);
+  for (std::int64_t i = 0; i < 3; ++i) sink.on_event(make_event(i));
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const std::vector<TraceEvent> got = sink.snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got.front().detail, 0);
+  EXPECT_EQ(got.back().detail, 2);
+}
+
+TEST(JsonlSink, OneParsableObjectPerLine) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  const TaskSystem sys = fig6_system();
+  SfqOptions opts;
+  opts.trace = &sink;
+  (void)schedule_sfq(sys, opts);
+  EXPECT_GT(sink.lines(), 0u);
+
+  std::istringstream in(os.str());
+  std::string line;
+  std::uint64_t n = 0;
+  std::uint64_t places = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    const JsonValue v = parse_json(line);
+    ASSERT_TRUE(v.is(JsonValue::Kind::kObject)) << line;
+    ASSERT_NE(v.find("k"), nullptr) << line;
+    ASSERT_NE(v.find("t"), nullptr) << line;
+    if (v.at("k").string == "place") ++places;
+  }
+  EXPECT_EQ(n, sink.lines());
+  // Every subtask of the feasible Fig. 6 system is placed exactly once.
+  EXPECT_EQ(places, static_cast<std::uint64_t>(sys.total_subtasks()));
+}
+
+TEST(JsonlSink, DvqPlaceEventsMatchPlacements) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 8));
+  std::ostringstream os;
+  JsonlSink sink(os);
+  DvqOptions opts;
+  opts.trace = &sink;
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields, opts);
+
+  std::int64_t placed = 0;
+  for (std::int32_t k = 0; k < sc.system.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sc.system.task(k).num_subtasks(); ++s) {
+      if (sched.placement(SubtaskRef{k, s}).placed) ++placed;
+    }
+  }
+  std::istringstream in(os.str());
+  std::string line;
+  std::int64_t places = 0;
+  while (std::getline(in, line)) {
+    if (parse_json(line).at("k").string == "place") ++places;
+  }
+  EXPECT_EQ(places, placed);
+}
+
+TEST(Metrics, CounterSumsStripesAcrossThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.count");
+  constexpr std::int64_t kN = 20000;
+  global_pool().parallel_for(
+      0, kN, [&](std::int64_t) { c.add(); }, 64);
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(reg.snapshot().counter_or("test.count"), kN);
+}
+
+TEST(Metrics, HistogramShape) {
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(5);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1030);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1024);
+  EXPECT_EQ(h.bucket(0), 1);   // x <= 0
+  EXPECT_EQ(h.bucket(1), 1);   // 1
+  EXPECT_EQ(h.bucket(3), 1);   // 4..7
+  EXPECT_EQ(h.bucket(11), 1);  // 1024..2047
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndSnapshotSerializes) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  EXPECT_EQ(&a, &reg.counter("a"));
+  a.add(3);
+  reg.gauge("g").set(7);
+  reg.histogram("h").add(42);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 3);
+  EXPECT_EQ(snap.gauges.at("g"), 7);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+
+  const JsonValue v = parse_json(metrics_to_json(snap, 2));
+  EXPECT_EQ(v.at("counters").at("a").integer, 3);
+  EXPECT_EQ(v.at("gauges").at("g").integer, 7);
+  EXPECT_EQ(v.at("histograms").at("h").at("count").integer, 1);
+}
+
+TEST(Metrics, ScopeTimerRecordsOneSample) {
+  MetricsRegistry reg;
+  {
+    ScopeTimer t(reg, "timed.ns");
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms.at("timed.ns").count, 1);
+  EXPECT_GE(snap.histograms.at("timed.ns").min, 0);
+}
+
+TEST(Probe, DisabledProbeIsInert) {
+  SchedProbe probe;
+  EXPECT_FALSE(probe.enabled());
+  // None of these may touch memory or crash without a sink/registry.
+  probe.begin_decision(TraceEventKind::kSlotBegin, Time::slots(0));
+  probe.place(Time::slots(0), SubtaskRef{0, 0}, 0, 0);
+  probe.end_decision();
+}
+
+TEST(SfqSimulator, TracingDoesNotChangeTheSchedule) {
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule plain = schedule_sfq(sys);
+
+  RingBufferSink sink(1 << 16);
+  MetricsRegistry reg;
+  SfqOptions opts;
+  opts.trace = &sink;
+  opts.metrics = &reg;
+  const SlotSchedule traced = schedule_sfq(sys, opts);
+
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      EXPECT_EQ(plain.placement(ref).slot, traced.placement(ref).slot);
+      EXPECT_EQ(plain.placement(ref).proc, traced.placement(ref).proc);
+    }
+  }
+  EXPECT_GT(sink.total(), 0u);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GT(snap.counter_or(sched_metrics::kInvocations), 0);
+  EXPECT_GT(snap.counter_or(sched_metrics::kComparisons), 0);
+  EXPECT_EQ(snap.counter_or(sched_metrics::kPlacements),
+            sys.total_subtasks());
+}
+
+TEST(DvqSimulator, TracingDoesNotChangeTheSchedule) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 8));
+  const DvqSchedule plain = schedule_dvq(sc.system, *sc.yields);
+
+  RingBufferSink sink(1 << 16);
+  MetricsRegistry reg;
+  DvqOptions opts;
+  opts.trace = &sink;
+  opts.metrics = &reg;
+  const DvqSchedule traced = schedule_dvq(sc.system, *sc.yields, opts);
+
+  for (std::int32_t k = 0; k < sc.system.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sc.system.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const DvqPlacement& a = plain.placement(ref);
+      const DvqPlacement& b = traced.placement(ref);
+      EXPECT_EQ(a.placed, b.placed);
+      EXPECT_EQ(a.start, b.start);
+      EXPECT_EQ(a.cost, b.cost);
+      EXPECT_EQ(a.proc, b.proc);
+    }
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GT(snap.counter_or(sched_metrics::kInvocations), 0);
+  EXPECT_GT(snap.counter_or(sched_metrics::kMigrations), 0);
+}
+
+// The deprecated log_decisions flag must keep producing the identical
+// decision log — with and without a user trace sink alongside it.
+TEST(DvqSimulator, LogDecisionsAliasSurvivesUserSink) {
+  const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 8));
+  DvqOptions legacy;
+  legacy.log_decisions = true;
+  const DvqSchedule base = schedule_dvq(sc.system, *sc.yields, legacy);
+  ASSERT_FALSE(base.decisions().empty());
+
+  RingBufferSink sink(1 << 16);
+  DvqOptions both = legacy;
+  both.trace = &sink;
+  const DvqSchedule mixed = schedule_dvq(sc.system, *sc.yields, both);
+  EXPECT_GT(sink.total(), 0u);
+
+  ASSERT_EQ(base.decisions().size(), mixed.decisions().size());
+  for (std::size_t i = 0; i < base.decisions().size(); ++i) {
+    const DvqDecision& x = base.decisions()[i];
+    const DvqDecision& y = mixed.decisions()[i];
+    EXPECT_EQ(x.at, y.at);
+    EXPECT_EQ(x.free_procs, y.free_procs);
+    EXPECT_EQ(x.started, y.started);
+    EXPECT_EQ(x.left_ready, y.left_ready);
+  }
+}
+
+TEST(TraceEventJson, RoundTripsThroughTheParser) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kPlace;
+  e.proc = 1;
+  e.at = Time::slots(3);
+  e.subject = SubtaskRef{2, 4};
+  e.detail = 7;
+  const JsonValue v = parse_json(trace_event_json(e));
+  EXPECT_EQ(v.at("k").string, "place");
+  EXPECT_EQ(v.at("proc").integer, 1);
+  EXPECT_EQ(v.at("task").integer, 2);
+  EXPECT_EQ(v.at("seq").integer, 4);
+  EXPECT_EQ(v.at("d").integer, 7);
+}
+
+}  // namespace
+}  // namespace pfair

@@ -11,9 +11,17 @@
 //   --yield=bern:<num>/<den>   that fraction of subtasks yields early
 //   --seed=<n>                 RNG seed for bern yields  (default 1)
 //   --csv=<path>               export the schedule as CSV
-//   --trace=<path>             export Chrome trace-event JSON
+//   --trace=<path>             structured scheduler trace, JSONL
+//                              (one event per line; see obs/trace.hpp)
+//   --chrome-trace=<path>      Chrome trace-event JSON (placements as
+//                              complete events, decisions as instants;
+//                              open with Perfetto "legacy trace")
+//   --metrics=<path>           per-run metrics snapshot as JSON
 //   --svg=<path>               export the schedule as an SVG figure
 //   --quiet                    suppress the rendered schedule
+//
+// --trace/--metrics/--chrome-trace cover sfq and dvq; the staggered
+// model keeps its own loop and is not instrumented.
 //
 // The task file format is documented in src/io/parse.hpp.
 #include <fstream>
@@ -35,6 +43,8 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::string csv_path;
   std::string trace_path;
+  std::string chrome_path;
+  std::string metrics_path;
   std::string svg_path;
   bool quiet = false;
   bool demo = false;
@@ -47,7 +57,10 @@ struct CliOptions {
                "[--model=sfq|dvq|stag]\n"
                "                [--yield=full|fixed:n/d|bern:n/d] "
                "[--seed=N] [--csv=PATH]\n"
-               "                [--quiet] (<taskfile> | --demo)\n";
+               "                [--trace=PATH] [--chrome-trace=PATH] "
+               "[--metrics=PATH]\n"
+               "                [--svg=PATH] [--quiet] "
+               "(<taskfile> | --demo)\n";
   std::exit(2);
 }
 
@@ -103,6 +116,10 @@ CliOptions parse_cli(int argc, char** argv) {
       o.csv_path = value("--csv=");
     } else if (arg.rfind("--trace=", 0) == 0) {
       o.trace_path = value("--trace=");
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      o.chrome_path = value("--chrome-trace=");
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      o.metrics_path = value("--metrics=");
     } else if (arg.rfind("--svg=", 0) == 0) {
       o.svg_path = value("--svg=");
     } else if (arg == "--quiet") {
@@ -157,10 +174,52 @@ int run(const CliOptions& o) {
             << std::boolalpha << sys->feasible() << "\n\n";
 
   const std::unique_ptr<YieldModel> yields = make_yields(o);
+
+  // Observability plumbing: --trace streams JSONL, --chrome-trace keeps
+  // a bounded ring of events for the decision instants, --metrics fills
+  // a registry.  The staggered model runs its own loop and supports
+  // none of them.
+  const bool stag = o.model == CliOptions::Model::kStaggered;
+  const bool wants_obs = !o.trace_path.empty() || !o.chrome_path.empty() ||
+                         !o.metrics_path.empty();
+  if (stag && wants_obs) {
+    std::cerr << "pfairsim: warning: --trace/--chrome-trace/--metrics are "
+                 "not supported for --model=stag; ignoring\n";
+  }
+  std::ofstream trace_f;
+  std::unique_ptr<JsonlSink> jsonl;
+  if (!stag && !o.trace_path.empty()) {
+    trace_f.open(o.trace_path);
+    if (!trace_f) {
+      std::cerr << "pfairsim: cannot open " << o.trace_path << "\n";
+      return 2;
+    }
+    jsonl = std::make_unique<JsonlSink>(trace_f);
+  }
+  std::unique_ptr<RingBufferSink> ring;
+  if (!stag && !o.chrome_path.empty()) {
+    ring = std::make_unique<RingBufferSink>(std::size_t{1} << 18);
+  }
+  std::unique_ptr<TeeSink> tee;
+  TraceSink* sink = nullptr;
+  if (jsonl != nullptr && ring != nullptr) {
+    tee = std::make_unique<TeeSink>(jsonl.get(), ring.get());
+    sink = tee.get();
+  } else if (jsonl != nullptr) {
+    sink = jsonl.get();
+  } else if (ring != nullptr) {
+    sink = ring.get();
+  }
+  MetricsRegistry reg;
+  MetricsRegistry* metrics =
+      !stag && !o.metrics_path.empty() ? &reg : nullptr;
+
   TardinessSummary tard;
   if (o.model == CliOptions::Model::kSfq) {
     SfqOptions so;
     so.policy = o.policy;
+    so.trace = sink;
+    so.metrics = metrics;
     const SlotSchedule sched = schedule_sfq(*sys, so);
     if (!o.quiet) {
       std::cout << render_slot_schedule(*sys, sched) << "\n\n";
@@ -168,12 +227,15 @@ int run(const CliOptions& o) {
     const ValidityReport rep = check_slot_schedule(*sys, sched);
     std::cout << "validity: " << rep.str() << "\n";
     tard = measure_tardiness(*sys, sched);
+    if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
     if (!o.csv_path.empty()) {
       export_slot_schedule(*sys, sched).write_file(o.csv_path);
     }
-    if (!o.trace_path.empty()) {
-      std::ofstream f(o.trace_path);
-      f << export_chrome_trace(*sys, sched);
+    if (!o.chrome_path.empty()) {
+      std::ofstream f(o.chrome_path);
+      const std::vector<TraceEvent> events =
+          ring != nullptr ? ring->snapshot() : std::vector<TraceEvent>{};
+      f << export_chrome_trace(*sys, sched, events);
     }
     if (!o.svg_path.empty()) {
       std::ofstream f(o.svg_path);
@@ -184,6 +246,8 @@ int run(const CliOptions& o) {
       if (o.model == CliOptions::Model::kDvq) {
         DvqOptions dopts;
         dopts.policy = o.policy;
+        dopts.trace = sink;
+        dopts.metrics = metrics;
         return schedule_dvq(*sys, *yields, dopts);
       }
       StaggeredOptions sopts;
@@ -196,17 +260,29 @@ int run(const CliOptions& o) {
     std::cout << "validity (one-quantum allowance): "
               << check_dvq_schedule(*sys, sched, kQuantum).str() << "\n";
     tard = measure_tardiness(*sys, sched);
+    if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
     if (!o.csv_path.empty()) {
       export_dvq_schedule(*sys, sched).write_file(o.csv_path);
     }
-    if (!o.trace_path.empty()) {
-      std::ofstream f(o.trace_path);
-      f << export_chrome_trace(*sys, sched);
+    if (!o.chrome_path.empty()) {
+      std::ofstream f(o.chrome_path);
+      const std::vector<TraceEvent> events =
+          ring != nullptr ? ring->snapshot() : std::vector<TraceEvent>{};
+      f << export_chrome_trace(*sys, sched, events);
     }
     if (!o.svg_path.empty()) {
       std::ofstream f(o.svg_path);
       f << render_dvq_schedule_svg(*sys, sched);
     }
+  }
+  if (jsonl != nullptr) {
+    std::cout << "trace: " << jsonl->lines() << " events -> " << o.trace_path
+              << "\n";
+  }
+  if (metrics != nullptr) {
+    std::ofstream f(o.metrics_path);
+    f << metrics_to_json(reg.snapshot(), 2) << "\n";
+    std::cout << "metrics written to " << o.metrics_path << "\n";
   }
 
   std::cout << "tardiness: max " << tard.max_quanta() << " quanta, "
