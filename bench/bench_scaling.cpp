@@ -1,0 +1,168 @@
+// Experiment P1 — per-decision scheduling cost vs task count.
+//
+// Sweeps n over 64..16384 light-weight tasks and times the optimized
+// simulators (calendar / event heaps + packed priority keys) against the
+// retained naive references, which re-scan all n tasks at every decision
+// (the pre-optimization hot path).  Expected shape: the optimized cost
+// per decision is O(changes), so the speedup grows roughly linearly with
+// n; the shape check requires >= 5x at n = 16384 and bit-identical
+// schedules at every point.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pfair/pfair.hpp"
+
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace pfair;
+
+constexpr std::int64_t kHorizon = 96;
+
+TaskSystem make_scaling_system(std::int64_t n) {
+  // Light weights from a small denominator set: per-slot ready sets stay
+  // a small fraction of n, which is exactly the regime where a full
+  // rescan wastes the most work.
+  constexpr std::int64_t kDens[] = {16, 24, 32, 48, 64};
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  Rational util(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Weight w(1, kDens[i % 5]);
+    util += w.value();
+    tasks.push_back(Task::periodic("t" + std::to_string(i), w, kHorizon));
+  }
+  const auto procs = static_cast<int>(util.ceil());
+  return TaskSystem(std::move(tasks), procs);
+}
+
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+bool same_sfq(const SlotSchedule& a, const SlotSchedule& b,
+              const TaskSystem& sys) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      if (a.placement(ref).slot != b.placement(ref).slot ||
+          a.placement(ref).proc != b.placement(ref).proc) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_dvq(const DvqSchedule& a, const DvqSchedule& b,
+              const TaskSystem& sys) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      if (a.placement(ref).start != b.placement(ref).start ||
+          a.placement(ref).proc != b.placement(ref).proc) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_bench(pfair::bench::BenchContext& ctx) {
+  std::cout << "=== P1: scheduling cost vs task count ===\n\n";
+
+  TextTable t;
+  t.header({"n", "procs", "subtasks", "sfq ref (ms)", "sfq fast (ms)",
+            "sfq x", "dvq ref (ms)", "dvq fast (ms)", "dvq x", "identical"});
+
+  bool all_identical = true;
+  double sfq_speedup_max_n = 0.0, dvq_speedup_max_n = 0.0;
+
+  for (const std::int64_t n : {64L, 256L, 1024L, 4096L, 16384L}) {
+    const TaskSystem sys = make_scaling_system(n);
+    // Small cases cost microseconds; take the min over many repetitions
+    // so scheduler noise on a loaded box cannot masquerade as cost.
+    const int reps = n <= 256 ? 15 : n <= 4096 ? 5 : 2;
+
+    SfqOptions opts;
+    opts.horizon_limit = kHorizon + 8;
+    SlotSchedule sfq_ref(sys), sfq_fast(sys);
+    const double sfq_ref_ms =
+        best_ms(reps, [&] { sfq_ref = schedule_sfq_reference(sys, opts); });
+    const double sfq_fast_ms =
+        best_ms(reps, [&] { sfq_fast = schedule_sfq(sys, opts); });
+
+    const BernoulliYield yields(static_cast<std::uint64_t>(n) + 5, 1, 2,
+                                Time::ticks(kTicksPerSlot / 2),
+                                kQuantum - kTick);
+    DvqOptions dopts;
+    dopts.horizon_limit = kHorizon + 8;
+    DvqSchedule dvq_ref(sys), dvq_fast(sys);
+    const double dvq_ref_ms = best_ms(
+        reps, [&] { dvq_ref = schedule_dvq_reference(sys, yields, dopts); });
+    const double dvq_fast_ms =
+        best_ms(reps, [&] { dvq_fast = schedule_dvq(sys, yields, dopts); });
+
+    const bool identical =
+        same_sfq(sfq_ref, sfq_fast, sys) && same_dvq(dvq_ref, dvq_fast, sys);
+    all_identical &= identical;
+
+    const double sfq_x = sfq_ref_ms / std::max(sfq_fast_ms, 1e-9);
+    const double dvq_x = dvq_ref_ms / std::max(dvq_fast_ms, 1e-9);
+    if (n == 16384) {
+      sfq_speedup_max_n = sfq_x;
+      dvq_speedup_max_n = dvq_x;
+    }
+
+    const std::string tag = std::to_string(n);
+    ctx.value("sfq.ref_ms." + tag, sfq_ref_ms);
+    ctx.value("sfq.fast_ms." + tag, sfq_fast_ms);
+    ctx.value("sfq.speedup." + tag, sfq_x);
+    ctx.value("dvq.ref_ms." + tag, dvq_ref_ms);
+    ctx.value("dvq.fast_ms." + tag, dvq_fast_ms);
+    ctx.value("dvq.speedup." + tag, dvq_x);
+    for (const auto& [name, ms] :
+         {std::pair<const char*, double>{"sfq_fast/", sfq_fast_ms},
+          {"sfq_ref/", sfq_ref_ms},
+          {"dvq_fast/", dvq_fast_ms},
+          {"dvq_ref/", dvq_ref_ms}}) {
+      pfair::bench::BenchCase c;
+      c.name = std::string(name) + tag;
+      c.ns_per_op = ms * 1e6;
+      c.iterations = reps;
+      ctx.add_case(std::move(c));
+    }
+
+    t.row({cell(n), cell(static_cast<std::int64_t>(sys.processors())),
+           cell(sys.total_subtasks()), cell(sfq_ref_ms, 2),
+           cell(sfq_fast_ms, 2), cell(sfq_x, 1), cell(dvq_ref_ms, 2),
+           cell(dvq_fast_ms, 2), cell(dvq_x, 1), identical ? "yes" : "NO"});
+  }
+
+  std::cout << t.str() << "\n";
+  std::cout << "horizon " << kHorizon << " slots; fast = incremental "
+            << "(calendar/event heaps + packed keys), ref = naive rescan\n";
+  const bool ok = all_identical &&
+                  (sfq_speedup_max_n >= 5.0 || dvq_speedup_max_n >= 5.0);
+  std::cout << "shape check (bit-identical everywhere, >=5x at n=16384): "
+            << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}
+
+PFAIR_BENCH_MAIN("scaling", run_bench)

@@ -9,12 +9,12 @@
 //   tardiness(PD2-DVQ) <= ceil(tardiness(S_B(DVQ))) and <= 1 quantum.
 // The table reports max tardiness in quanta per condition — the "rows"
 // this paper's evaluation would print.
-#include <atomic>
 #include <iostream>
 
 #include "pfair/pfair.hpp"
 
 #include "bench_main.hpp"
+#include "sweep.hpp"
 
 int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
@@ -37,11 +37,9 @@ int run_bench(pfair::bench::BenchContext&) {
   bool all_ok = true;
 
   for (const Grid g : grid) {
-    std::atomic<std::int64_t> sfq_max{0}, dvq_max{0}, pdb_max{0},
-        pdbb_max{0};
-    std::atomic<std::int64_t> th1_bad{0}, th2_bad{0}, th3_bad{0};
-    global_pool().parallel_for(0, kSeeds, [&](std::int64_t i) {
-      const auto seed = static_cast<std::uint64_t>(i) * 13 + 1;
+    pfair::bench::MaxReducer sfq_max, dvq_max, pdb_max, pdbb_max;
+    pfair::bench::CountReducer th1_bad, th2_bad, th3_bad;
+    pfair::bench::sweep_seeds(kSeeds, 13, 1, [&](std::uint64_t seed) {
       GeneratorConfig cfg;
       cfg.processors = g.m;
       cfg.target_util = Rational(g.m);
@@ -52,20 +50,14 @@ int run_bench(pfair::bench::BenchContext&) {
       const BernoulliYield yields(seed, 1, 2, Time::ticks(kTicksPerSlot / 2),
                                   kQuantum - kTick);
 
-      auto raise = [](std::atomic<std::int64_t>& a, std::int64_t v) {
-        std::int64_t cur = a.load();
-        while (v > cur && !a.compare_exchange_weak(cur, v)) {
-        }
-      };
-
       const std::int64_t sfq =
           measure_tardiness(sys, schedule_sfq(sys)).max_ticks;
-      raise(sfq_max, sfq);
+      sfq_max.raise(sfq);
 
       const DvqSchedule dvq = schedule_dvq(sys, yields);
       const std::int64_t dvq_t = measure_tardiness(sys, dvq).max_ticks;
-      raise(dvq_max, dvq_t);
-      if (dvq_t >= kTicksPerSlot) ++th3_bad;  // Theorem 3
+      dvq_max.raise(dvq_t);
+      if (dvq_t >= kTicksPerSlot) th3_bad.add();  // Theorem 3
 
       // Theorem 1: against the S_B constructed from this very DVQ run.
       const SbConstruction sbc = build_sb(sys, dvq);
@@ -73,31 +65,29 @@ int run_bench(pfair::bench::BenchContext&) {
           measure_tardiness(sbc.charged_system, sbc.sb).max_ticks;
       const std::int64_t sb_ceil =
           (sb_t + kTicksPerSlot - 1) / kTicksPerSlot * kTicksPerSlot;
-      if (dvq_t > sb_ceil) ++th1_bad;
+      if (dvq_t > sb_ceil) th1_bad.add();
 
       PdbOptions po;
       const std::int64_t pdb_t =
           measure_tardiness(sys, schedule_pdb(sys, po)).max_ticks;
-      raise(pdb_max, pdb_t);
-      if (pdb_t > kTicksPerSlot) ++th2_bad;  // Theorem 2
+      pdb_max.raise(pdb_t);
+      if (pdb_t > kTicksPerSlot) th2_bad.add();  // Theorem 2
 
       po.mode = PdbMode::kBenign;
-      raise(pdbb_max, measure_tardiness(sys, schedule_pdb(sys, po)).max_ticks);
+      pdbb_max.raise(measure_tardiness(sys, schedule_pdb(sys, po)).max_ticks);
     });
 
-    const bool ok =
-        th1_bad.load() == 0 && th2_bad.load() == 0 && th3_bad.load() == 0 &&
-        sfq_max.load() == 0;
+    const bool ok = th1_bad.zero() && th2_bad.zero() && th3_bad.zero() &&
+                    sfq_max.get() == 0;
     all_ok &= ok;
     auto q = [](std::int64_t ticks) {
       return cell(static_cast<double>(ticks) /
                   static_cast<double>(kTicksPerSlot));
     };
     t.row({cell(static_cast<std::int64_t>(g.m)), to_string(g.cls),
-           q(sfq_max.load()), q(dvq_max.load()), q(pdb_max.load()),
-           q(pdbb_max.load()), th1_bad.load() == 0 ? "yes" : "NO",
-           th2_bad.load() == 0 ? "yes" : "NO",
-           th3_bad.load() == 0 ? "yes" : "NO"});
+           q(sfq_max.get()), q(dvq_max.get()), q(pdb_max.get()),
+           q(pdbb_max.get()), th1_bad.zero() ? "yes" : "NO",
+           th2_bad.zero() ? "yes" : "NO", th3_bad.zero() ? "yes" : "NO"});
   }
   std::cout << t.str() << "\n";
   std::cout << kSeeds << " fully-utilized systems per row; yields: "

@@ -3,12 +3,12 @@
 // partitioned EDF can fail well below it (around M/2 + epsilon in the
 // worst case [13, 5, 4]).  Measures schedulability (fraction of random
 // systems with no miss) versus utilization.
-#include <atomic>
 #include <iostream>
 
 #include "pfair/pfair.hpp"
 
 #include "bench_main.hpp"
+#include "sweep.hpp"
 
 int run_bench(pfair::bench::BenchContext&) {
   using namespace pfair;
@@ -27,9 +27,8 @@ int run_bench(pfair::bench::BenchContext&) {
   for (const auto& [num, den] :
        std::vector<std::pair<std::int64_t, std::int64_t>>{
            {1, 2}, {5, 8}, {3, 4}, {7, 8}, {15, 16}, {1, 1}}) {
-    std::atomic<std::int64_t> pd2_ok{0}, ppf_ok{0}, gedf_ok{0}, pedf_ok{0};
-    global_pool().parallel_for(0, kSeeds, [&](std::int64_t i) {
-      const auto seed = static_cast<std::uint64_t>(i) * 3 + 11;
+    pfair::bench::CountReducer pd2_ok, ppf_ok, gedf_ok, pedf_ok;
+    pfair::bench::sweep_seeds(kSeeds, 3, 11, [&](std::uint64_t seed) {
       GeneratorConfig cfg;
       cfg.processors = kM;
       cfg.target_util = Rational(kM) * Rational(num, den);
@@ -40,28 +39,28 @@ int run_bench(pfair::bench::BenchContext&) {
 
       const SlotSchedule pd2 = schedule_sfq(sys);
       if (pd2.complete() && measure_tardiness(sys, pd2).max_ticks == 0) {
-        ++pd2_ok;
+        pd2_ok.add();
       }
-      if (run_global_edf(sys).all_met()) ++gedf_ok;
+      if (run_global_edf(sys).all_met()) gedf_ok.add();
       const PartitionedEdfResult pr = run_partitioned_edf(sys);
-      if (pr.partitioned && pr.schedule.all_met()) ++pedf_ok;
+      if (pr.partitioned && pr.schedule.all_met()) pedf_ok.add();
       const PartitionedPfairResult pp = run_partitioned_pfair(sys);
-      if (pp.partitioned && pp.all_met) ++ppf_ok;
+      if (pp.partitioned && pp.all_met) ppf_ok.add();
     });
     const auto frac = [&](std::int64_t n) {
       return static_cast<double>(n) / static_cast<double>(kSeeds);
     };
-    last_pd2 = frac(pd2_ok.load());
+    last_pd2 = frac(pd2_ok.get());
     if (num == den) {
-      gedf_at_full = frac(gedf_ok.load());
-      pedf_at_full = frac(pedf_ok.load());
+      gedf_at_full = frac(gedf_ok.get());
+      pedf_at_full = frac(pedf_ok.get());
     }
-    ok &= pd2_ok.load() == kSeeds;  // PD2 never fails at util <= M
+    ok &= pd2_ok.get() == kSeeds;  // PD2 never fails at util <= M
     // Partitioned Pfair fails exactly when bin packing does.
-    ok &= ppf_ok.load() == pedf_ok.load() || ppf_ok.load() >= pedf_ok.load();
-    t.row({cell_ratio(num, den, 3), cell(frac(pd2_ok.load()), 2),
-           cell(frac(ppf_ok.load()), 2), cell(frac(gedf_ok.load()), 2),
-           cell(frac(pedf_ok.load()), 2)});
+    ok &= ppf_ok.get() == pedf_ok.get() || ppf_ok.get() >= pedf_ok.get();
+    t.row({cell_ratio(num, den, 3), cell(frac(pd2_ok.get()), 2),
+           cell(frac(ppf_ok.get()), 2), cell(frac(gedf_ok.get()), 2),
+           cell(frac(pedf_ok.get()), 2)});
   }
   // The gap must be visible: EDF baselines lose systems at full load.
   ok &= last_pd2 == 1.0 && (gedf_at_full < 1.0 || pedf_at_full < 1.0);

@@ -1,0 +1,59 @@
+// Parallel seed-sweep driver for the experiment binaries.
+//
+// Every randomized experiment has the same shape: run `body(seed)` over a
+// block of decorrelated seeds on the global thread pool, folding results
+// into a handful of thread-safe reducers, then print one table row.  This
+// header owns that shape so each bench states only its grid and its body.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "core/thread_pool.hpp"
+
+namespace pfair::bench {
+
+/// Monotone running maximum over worker threads.  Writes race benignly
+/// (CAS loop); read the result after the sweep returns.
+class MaxReducer {
+ public:
+  void raise(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Event counter ("system schedulable", "theorem violated", ...).
+class CountReducer {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool zero() const { return get() == 0; }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Runs `body(seed)` for `count` seeds on the global pool, with seeds
+/// drawn from the affine stream i * stride + offset so neighbouring
+/// indices do not share low bits with the generator's own mixing.
+inline void sweep_seeds(std::int64_t count, std::uint64_t stride,
+                        std::uint64_t offset,
+                        const std::function<void(std::uint64_t)>& body) {
+  global_pool().parallel_for(0, count, [&](std::int64_t i) {
+    body(static_cast<std::uint64_t>(i) * stride + offset);
+  });
+}
+
+}  // namespace pfair::bench

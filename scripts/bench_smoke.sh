@@ -40,4 +40,11 @@ EOF
 else
   echo "bench_smoke: python3 not found, skipping schema validation" >&2
 fi
+
+# Opt-in perf regression guard: compares the scheduler hot-path medians
+# against the committed baseline (BENCH_PR2.json); >15% fails.  Off by
+# default because wall-clock numbers are machine-specific.
+if [ "${PERF_GUARD:-0}" = "1" ]; then
+  python3 scripts/perf_guard.py --build-dir "$BUILD"
+fi
 echo "bench smoke complete — reports in $OUT"

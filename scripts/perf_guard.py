@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Performance regression guard for the scheduler hot paths.
+
+Compares fresh pfair-bench-v1 reports against the committed baseline
+bundle (BENCH_PR2.json at the repo root) and fails if any guarded case
+regresses by more than the tolerance on its median ns/op.
+
+Usage:
+  scripts/perf_guard.py --build-dir build-rel            # check
+  scripts/perf_guard.py --build-dir build-rel --write-baseline
+  scripts/perf_guard.py --reports DIR                    # check pre-made
+                                                         # reports
+
+The guard runs (or reads) three reports:
+  micro_sched  google-benchmark micro costs (BM_SfqSchedule,
+               BM_DvqSchedule, ... with repetitions for medians)
+  scaling      fast-vs-naive sweep over task counts (bench_scaling)
+  epdf_dvq     one DVQ experiment, wall-clock only (rides along in the
+               bundle for reference; not guarded)
+
+Only cases matching GUARDED_PATTERNS are compared: the optimized
+schedulers' costs.  The naive reference timings (sfq_ref/*, dvq_ref/*)
+ride along in the reports but are deliberately unguarded — the oracle is
+allowed to be slow.
+
+Baselines are machine-specific: regenerate with --write-baseline when
+benching hardware changes, and read absolute numbers with that in mind.
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "BENCH_PR2.json")
+TOLERANCE = 0.15
+
+# (bench target, report name, extra argv)
+BENCHES = [
+    (
+        "bench_micro_sched",
+        "micro_sched",
+        [
+            "--benchmark_filter="
+            "BM_SfqSchedule|BM_SfqScheduleIndexed|BM_DvqSchedule",
+            "--benchmark_repetitions=3",
+        ],
+    ),
+    ("bench_scaling", "scaling", []),
+    ("bench_epdf_dvq", "epdf_dvq", ["--repeat=5"]),
+]
+
+GUARDED_PATTERNS = [
+    r"^BM_SfqSchedule/",
+    r"^BM_SfqScheduleIndexed/",
+    r"^BM_DvqSchedule/",
+    r"^sfq_fast/",
+    r"^dvq_fast/",
+]
+
+# Cases whose baseline median sits below this ride along in the reports
+# but are not guarded: on a busy box, scheduling jitter alone moves
+# sub-100us single-shot timings past any sane tolerance.
+MIN_GUARDED_NS = 80_000
+
+
+def run_benches(build_dir, out_dir):
+    targets = [b[0] for b in BENCHES]
+    subprocess.run(
+        ["cmake", "--build", build_dir, "-j", "--target"] + targets,
+        check=True,
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+    )
+    reports = {}
+    for target, name, extra in BENCHES:
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        exe = os.path.join(build_dir, "bench", target)
+        print(f"perf_guard: running {target} ...", file=sys.stderr)
+        subprocess.run(
+            [exe, f"--json={path}"] + extra,
+            check=True,
+            cwd=REPO,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        with open(path) as f:
+            reports[name] = json.load(f)
+    return reports
+
+
+def load_reports(reports_dir):
+    reports = {}
+    for _, name, _ in BENCHES:
+        path = os.path.join(reports_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            sys.exit(f"perf_guard: missing report {path}")
+        with open(path) as f:
+            reports[name] = json.load(f)
+    return reports
+
+
+def case_medians(report):
+    """name -> median ns/op over same-name case entries (repetitions)."""
+    runs = {}
+    for case in report.get("cases", []):
+        runs.setdefault(case["name"], []).append(case["ns_per_op"])
+    return {name: statistics.median(v) for name, v in runs.items()}
+
+
+def guarded(name):
+    return any(re.search(p, name) for p in GUARDED_PATTERNS)
+
+
+def check(baseline, fresh, tolerance):
+    failures = []
+    compared = 0
+    for bench_name, base_report in baseline["reports"].items():
+        fresh_report = fresh.get(bench_name)
+        if fresh_report is None:
+            failures.append(f"{bench_name}: no fresh report")
+            continue
+        if not fresh_report.get("ok", False):
+            failures.append(f"{bench_name}: fresh run reported failure")
+        base_cases = case_medians(base_report)
+        fresh_cases = case_medians(fresh_report)
+        for name, base_ns in sorted(base_cases.items()):
+            if not guarded(name) or base_ns < MIN_GUARDED_NS:
+                continue
+            if name not in fresh_cases:
+                failures.append(f"{bench_name}/{name}: case disappeared")
+                continue
+            fresh_ns = fresh_cases[name]
+            ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+            compared += 1
+            marker = "FAIL" if ratio > 1.0 + tolerance else "ok"
+            print(
+                f"  {marker:4} {bench_name}/{name}: "
+                f"{base_ns:12.0f} -> {fresh_ns:12.0f} ns/op "
+                f"({(ratio - 1.0) * 100:+.1f}%)"
+            )
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{bench_name}/{name}: {(ratio - 1.0) * 100:+.1f}% "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    if compared == 0:
+        failures.append("no guarded cases compared — baseline empty?")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-rel")
+    ap.add_argument("--baseline", default=BASELINE)
+    ap.add_argument(
+        "--reports",
+        default=None,
+        help="directory of pre-made BENCH_*.json (skips running benches)",
+    )
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE)
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="run the benches and (re)write the baseline bundle",
+    )
+    args = ap.parse_args()
+
+    if args.reports:
+        fresh = load_reports(args.reports)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh = run_benches(args.build_dir, tmp)
+
+    if args.write_baseline:
+        bundle = {
+            "schema": "pfair-perf-baseline-v1",
+            "tolerance": args.tolerance,
+            "reports": fresh,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(bundle, f, indent=1)
+            f.write("\n")
+        print(f"perf_guard: baseline written to {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        sys.exit(
+            f"perf_guard: no baseline at {args.baseline} "
+            "(generate with --write-baseline)"
+        )
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "pfair-perf-baseline-v1":
+        sys.exit("perf_guard: unrecognized baseline schema")
+
+    print(f"perf_guard: comparing against {args.baseline}")
+    failures = check(baseline, fresh, args.tolerance)
+    if failures:
+        print("perf_guard: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf_guard: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,33 @@
 
 #include <algorithm>
 
+#include "core/assert.hpp"
+
 namespace pfair {
+
+namespace {
+
+// Min-heap orderings for std::push_heap/pop_heap (which build max-heaps,
+// so "lower priority" means "later time" / "larger id").
+constexpr auto kLaterCompletion = [](const auto& a, const auto& b) {
+  return b.at < a.at;
+};
+constexpr auto kLaterPending = [](const auto& a, const auto& b) {
+  return b.at < a.at;
+};
+constexpr auto kLargerProc = [](std::int32_t a, std::int32_t b) {
+  return b < a;
+};
+
+}  // namespace
 
 DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
                            Policy policy, bool log_decisions)
     : sys_(&sys),
       yields_(&yields),
       order_(sys, policy),
+      keys_(sys, policy),
+      ready_q_(order_, keys_),
       sched_(sys),
       procs_(static_cast<std::size_t>(sys.processors())),
       head_(static_cast<std::size_t>(sys.num_tasks()), 0),
@@ -18,13 +38,23 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
     decision_sink_ = std::make_unique<DvqDecisionSink>(sched_);
     set_trace_sink(nullptr);  // wires the internal sink into the probe
   }
+  ready_q_.reserve(head_.size());
+  pending_.reserve(head_.size());
+  completions_.reserve(procs_.size());
+  free_procs_.reserve(procs_.size());
+  for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+    free_procs_.push_back(static_cast<std::int32_t>(pi));
+  }
+  std::make_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
   for (std::size_t k = 0; k < head_.size(); ++k) {
     const Task& task = sys.task(static_cast<std::int64_t>(k));
     if (task.num_subtasks() > 0) {
       ready_at_[k] = Time::slots(task.subtask(0).eligible);
-      events_.push(ready_at_[k]);
+      pending_.push_back(Pending{
+          ready_at_[k], SubtaskRef{static_cast<std::int32_t>(k), 0}});
     }
   }
+  std::make_heap(pending_.begin(), pending_.end(), kLaterPending);
 }
 
 void DvqSimulator::set_trace_sink(TraceSink* sink) {
@@ -41,110 +71,155 @@ void DvqSimulator::set_trace_sink(TraceSink* sink) {
   probe_.set_sink(effective);
 }
 
+Time DvqSimulator::next_event_time() const {
+  PFAIR_ASSERT(has_events());
+  if (completions_.empty()) return pending_.front().at;
+  if (pending_.empty()) return completions_.front().at;
+  return std::min(completions_.front().at, pending_.front().at);
+}
+
+Time DvqSimulator::commit_placement(const SubtaskRef& ref, Time t,
+                                    int proc) {
+  const Time c = yields_->checked_cost(*sys_, ref);
+  sched_.place(ref, t, c, proc);
+  Proc& pr = procs_[static_cast<std::size_t>(proc)];
+  pr.busy = true;
+  pr.busy_until = t + c;
+  completions_.push_back(
+      Completion{pr.busy_until, static_cast<std::int32_t>(proc)});
+  std::push_heap(completions_.begin(), completions_.end(), kLaterCompletion);
+  const auto k = static_cast<std::size_t>(ref.task);
+  ++head_[k];
+  --remaining_;
+  // The successor's readiness instant is known now: the later of its
+  // eligibility time and this quantum's completion.
+  const Task& task = sys_->task(ref.task);
+  if (head_[k] < task.num_subtasks()) {
+    ready_at_[k] = std::max(
+        Time::slots(task.subtask(head_[k]).eligible), pr.busy_until);
+    pending_.push_back(Pending{
+        ready_at_[k], SubtaskRef{ref.task, ref.seq + 1}});
+    std::push_heap(pending_.begin(), pending_.end(), kLaterPending);
+  }
+  return c;
+}
+
 std::vector<SubtaskRef> DvqSimulator::step() {
   std::vector<SubtaskRef> started;
-  if (events_.empty()) return started;
-  const Time t = events_.top();
-  while (!events_.empty() && events_.top() == t) events_.pop();
-  now_ = t;
-  const bool obs = probe_.enabled();
-  if (obs) probe_.begin_decision(TraceEventKind::kEventBegin, t);
+  if (!has_events()) return started;
+  step_into(started);
+  return started;
+}
 
-  // 1. Retire completions at t; newly-ready successors join this batch.
-  for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
-    Proc& pr = procs_[pi];
-    if (pr.busy && pr.busy_until <= t) {
-      PFAIR_ASSERT(pr.busy_until == t);
-      pr.busy = false;
-      const auto k = static_cast<std::size_t>(pr.running.task);
-      const Task& task = sys_->task(pr.running.task);
-      const std::int64_t next = pr.running.seq + 1;
-      if (next < task.num_subtasks()) {
-        const Time elig = Time::slots(task.subtask(next).eligible);
-        ready_at_[k] = std::max(elig, t);
-        if (ready_at_[k] > t) events_.push(ready_at_[k]);
+void DvqSimulator::step_into(std::vector<SubtaskRef>& started) {
+  const Time t = next_event_time();
+  now_ = t;
+
+  // 1. Retire completions at t; successors whose readiness instant has
+  // arrived join the ready heap for this very batch.
+  while (!completions_.empty() && completions_.front().at <= t) {
+    PFAIR_ASSERT(completions_.front().at == t);
+    const std::int32_t proc = completions_.front().proc;
+    std::pop_heap(completions_.begin(), completions_.end(),
+                  kLaterCompletion);
+    completions_.pop_back();
+    procs_[static_cast<std::size_t>(proc)].busy = false;
+    free_procs_.push_back(proc);
+    std::push_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
+  }
+  while (!pending_.empty() && pending_.front().at <= t) {
+    ready_q_.push(pending_.front().ref);
+    std::pop_heap(pending_.begin(), pending_.end(), kLaterPending);
+    pending_.pop_back();
+  }
+
+  if (probe_.enabled()) [[unlikely]] {
+    step_instrumented(started, t);
+    return;
+  }
+
+  // 2.+3. Hand each free processor (ascending id) the highest-priority
+  // live ready subtask, immediately (work-conserving).
+  while (!free_procs_.empty()) {
+    SubtaskRef ref{};
+    bool found = false;
+    while (!ready_q_.empty()) {
+      ref = ready_q_.pop_best();
+      // Skip entries scheduled behind the heap's back by an instrumented
+      // step (the head moved on).
+      if (head_[static_cast<std::size_t>(ref.task)] == ref.seq) {
+        found = true;
+        break;
       }
     }
+    if (!found) break;
+    const std::int32_t proc = free_procs_.front();
+    std::pop_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
+    free_procs_.pop_back();
+    commit_placement(ref, t, proc);
+    started.push_back(ref);
   }
+}
 
-  // 2. Free processors and ready subtasks.
+// noinline: instrumented-path-only code; folding it into step() costs
+// the *uninstrumented* path measurable icache pressure.
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void DvqSimulator::step_instrumented(std::vector<SubtaskRef>& started,
+                                     Time t) {
+  probe_.begin_decision(TraceEventKind::kEventBegin, t);
+
+  // 2. Free processors and ready subtasks — the pre-optimization full
+  // scans, so the event stream is unchanged.
   std::vector<int> free_procs = idle_processors();
   if (free_procs.empty()) {
-    if (obs) probe_.end_decision();
-    return started;
+    probe_.end_decision();
+    return;
   }
-  if (obs) {
-    for (const int p : free_procs) probe_.proc_free(t, p);
-  }
-  std::vector<SubtaskRef> ready;
+  for (const int p : free_procs) probe_.proc_free(t, p);
+  scratch_ready_.clear();
   for (std::size_t k = 0; k < head_.size(); ++k) {
     const Task& task = sys_->task(static_cast<std::int64_t>(k));
     if (head_[k] >= task.num_subtasks()) continue;
     if (ready_at_[k] > t) continue;
-    ready.push_back(SubtaskRef{static_cast<std::int32_t>(k),
-                               static_cast<std::int32_t>(head_[k])});
+    scratch_ready_.push_back(SubtaskRef{static_cast<std::int32_t>(k),
+                                        static_cast<std::int32_t>(head_[k])});
   }
-  if (obs) probe_.ready_set(t, static_cast<std::int64_t>(ready.size()));
+  std::vector<SubtaskRef>& ready = scratch_ready_;
+  probe_.ready_set(t, static_cast<std::int64_t>(ready.size()));
   if (ready.empty()) {
-    if (obs) {
-      probe_.idle(t, static_cast<std::int64_t>(free_procs.size()));
-      probe_.end_decision();
-    }
-    return started;
+    probe_.idle(t, static_cast<std::int64_t>(free_procs.size()));
+    probe_.end_decision();
+    return;
   }
 
   // 3. Assign in priority order, immediately (work-conserving).
   const auto m = std::min(free_procs.size(), ready.size());
-  if (!obs) [[likely]] {
-    std::partial_sort(ready.begin(),
-                      ready.begin() + static_cast<std::ptrdiff_t>(m),
-                      ready.end(),
-                      [this](const SubtaskRef& a, const SubtaskRef& b) {
-                        return order_.higher(a, b);
-                      });
-  } else {
-    sort_ready_instrumented(ready, m, t);
-  }
+  sort_ready_instrumented(ready, m, t);
   for (std::size_t r = 0; r < m; ++r) {
     const SubtaskRef ref = ready[r];
-    const Time c = yields_->checked_cost(*sys_, ref);
     const int proc = free_procs[r];
-    sched_.place(ref, t, c, proc);
-    if (obs) [[unlikely]] note_placement(t, ref, proc, c);
-    Proc& pr = procs_[static_cast<std::size_t>(proc)];
-    pr.busy = true;
-    pr.busy_until = t + c;
-    pr.running = ref;
-    events_.push(pr.busy_until);
-    const auto k = static_cast<std::size_t>(ref.task);
-    ++head_[k];
-    --remaining_;
-    // Advance readiness immediately: the next subtask cannot run before
-    // this one completes (recomputed identically at the completion
-    // event).
-    const Task& task_k = sys_->task(ref.task);
-    if (head_[k] < task_k.num_subtasks()) {
-      ready_at_[k] = std::max(
-          Time::slots(task_k.subtask(head_[k]).eligible), pr.busy_until);
-    }
+    // The r-th free processor in ascending id order is exactly the r-th
+    // pop of the free-processor min-heap — keep it in sync.
+    PFAIR_ASSERT(free_procs_.front() == proc);
+    std::pop_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
+    free_procs_.pop_back();
+    const Time c = commit_placement(ref, t, proc);
+    note_placement(t, ref, proc, c);
     started.push_back(ref);
   }
-  if (obs) {
-    // Ready subtasks left unserved at this instant (the paper's blocked
-    // work) and capacity beyond the ready set.
-    for (std::size_t r = m; r < ready.size(); ++r) {
-      probe_.preempt(t, ready[r]);
-    }
-    if (m < free_procs.size()) {
-      probe_.idle(t, static_cast<std::int64_t>(free_procs.size() - m));
-    }
-    probe_.end_decision();
+  // Ready subtasks left unserved at this instant (the paper's blocked
+  // work) and capacity beyond the ready set.
+  for (std::size_t r = m; r < ready.size(); ++r) {
+    probe_.preempt(t, ready[r]);
   }
-  return started;
+  if (m < free_procs.size()) {
+    probe_.idle(t, static_cast<std::int64_t>(free_procs.size() - m));
+  }
+  probe_.end_decision();
 }
 
-// noinline: this lives on the instrumented path only; folding it into
-// step() costs the *uninstrumented* path measurable icache pressure.
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
@@ -186,9 +261,10 @@ void DvqSimulator::note_placement(Time t, SubtaskRef ref, int proc,
 }
 
 void DvqSimulator::run_until(Time time_limit) {
-  while (remaining_ > 0 && !events_.empty() &&
-         events_.top() < time_limit) {
-    step();
+  while (remaining_ > 0 && has_events() &&
+         next_event_time() < time_limit) {
+    scratch_started_.clear();
+    step_into(scratch_started_);
   }
 }
 

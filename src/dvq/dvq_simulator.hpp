@@ -4,17 +4,35 @@
 // processor to the highest-priority ready subtask (work-conserving,
 // Sec. 3).  `schedule_dvq` is implemented on top of this class, keeping
 // the batch and incremental paths behaviourally identical.
+//
+// Per-event cost is O(changes), not O(tasks): the old bag of bare
+// timestamps (one duplicate push per processor completion and per
+// readiness advance) is replaced by two exact queues — completions
+// keyed (time, processor) and pending readiness keyed (time, subtask),
+// each unique by construction — plus a free-processor min-heap and a
+// ready heap ordered by packed 64-bit priority keys (see
+// sched/packed_key.hpp).  A decision touches only the processors that
+// completed, the subtasks that became ready, and the winners it places.
+// Schedules are bit-identical to the retained naive reference
+// (`schedule_dvq_reference`).
+//
+// With a probe attached, step() takes the instrumented path — the
+// pre-optimization full scan and event-reporting partial_sort — so
+// trace streams and metric values stay exactly stable.  Instrumented or
+// not, the placements are the same.
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "dvq/decision_sink.hpp"
 #include "dvq/dvq_schedule.hpp"
 #include "dvq/yield.hpp"
 #include "obs/probe.hpp"
+#include "sched/packed_key.hpp"
 #include "sched/priority.hpp"
+#include "sched/ready_queue.hpp"
 
 namespace pfair {
 
@@ -38,7 +56,9 @@ class DvqSimulator {
   [[nodiscard]] Time now() const { return now_; }
   /// Whether any event is pending (false also implies nothing more can
   /// be scheduled — on a complete run, after done()).
-  [[nodiscard]] bool has_events() const { return !events_.empty(); }
+  [[nodiscard]] bool has_events() const {
+    return !completions_.empty() || !pending_.empty();
+  }
 
   /// Processes the next event instant; returns the subtasks started
   /// there (possibly none — e.g. a completion with nothing ready).
@@ -63,17 +83,29 @@ class DvqSimulator {
   void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
 
  private:
-  // Cold counterpart of the plain partial_sort in step(): identical
-  // ordering, plus comparison counts and per-comparison trace events.
-  // Out of line so the uninstrumented path stays compact.
+  /// The earliest unprocessed event instant; requires has_events().
+  [[nodiscard]] Time next_event_time() const;
+
+  // One event instant's decisions appended into `started` (not cleared;
+  // reused as a scratch buffer by run_until).
+  void step_into(std::vector<SubtaskRef>& started);
+  // The pre-optimization decision body: naive ready scan + instrumented
+  // sort + trace/metrics reporting.  Identical placements.
+  void step_instrumented(std::vector<SubtaskRef>& started, Time t);
   void sort_ready_instrumented(std::vector<SubtaskRef>& ready,
                                std::size_t m, Time t);
-  // Cold: trace/metrics bookkeeping for one placement.
   void note_placement(Time t, SubtaskRef ref, int proc, Time c);
+
+  // Bookkeeping shared by both paths for one placement at instant `t`:
+  // records the placement, books the completion event, and enqueues the
+  // successor's readiness.  Returns the charged cost.
+  Time commit_placement(const SubtaskRef& ref, Time t, int proc);
 
   const TaskSystem* sys_;
   const YieldModel* yields_;
   PriorityOrder order_;
+  PackedKeys keys_;
+  ReadyQueue ready_q_;
   SchedProbe probe_;
   TraceSink* user_sink_ = nullptr;
   std::unique_ptr<DvqDecisionSink> decision_sink_;  // log_decisions alias
@@ -83,12 +115,28 @@ class DvqSimulator {
   struct Proc {
     bool busy = false;
     Time busy_until;
-    SubtaskRef running;
   };
   std::vector<Proc> procs_;
   std::vector<std::int64_t> head_;
   std::vector<Time> ready_at_;
-  std::priority_queue<Time, std::vector<Time>, std::greater<Time>> events_;
+
+  // Exact event queues (min-heaps via std::push_heap/pop_heap): one
+  // completion per busy processor, one pending entry per task awaiting
+  // its head's readiness instant — no duplicate timestamps anywhere.
+  struct Completion {
+    Time at;
+    std::int32_t proc;
+  };
+  struct Pending {
+    Time at;
+    SubtaskRef ref;
+  };
+  std::vector<Completion> completions_;
+  std::vector<Pending> pending_;
+  std::vector<std::int32_t> free_procs_;  // min-heap of idle processors
+
+  std::vector<SubtaskRef> scratch_started_;
+  std::vector<SubtaskRef> scratch_ready_;  // instrumented path only
   Time now_;
   std::int64_t remaining_;
 };

@@ -1,0 +1,25 @@
+// The naive DVQ scheduler, retained verbatim as a correctness oracle.
+//
+// This is the pre-optimization hot path of DvqSimulator: one bag-style
+// event queue of bare timestamps (duplicates and all), a full O(n) task
+// scan for the ready set at every event instant, and a fresh
+// partial_sort with the branchy PriorityOrder comparator.  The
+// production scheduler (`schedule_dvq` / DvqSimulator) replaced that
+// with per-processor completion events, a pending-readiness heap and
+// packed priority keys; the A/B equivalence suite asserts both produce
+// bit-identical schedules, and `bench_scaling` measures the gap.
+// Deliberately simple and probe-free — do not optimize this function.
+#pragma once
+
+#include "dvq/dvq_scheduler.hpp"
+
+namespace pfair {
+
+/// Reference counterpart of `schedule_dvq` (same options; `trace`,
+/// `metrics` and `log_decisions` are ignored — the oracle is unobserved
+/// by design).
+[[nodiscard]] DvqSchedule schedule_dvq_reference(const TaskSystem& sys,
+                                                 const YieldModel& yields,
+                                                 const DvqOptions& opts = {});
+
+}  // namespace pfair

@@ -25,8 +25,11 @@
 #include "tasks/windows.hpp"         // IWYU pragma: export
 
 #include "sched/indexed_scheduler.hpp"  // IWYU pragma: export
+#include "sched/packed_key.hpp"     // IWYU pragma: export
 #include "sched/pdb_scheduler.hpp"  // IWYU pragma: export
 #include "sched/priority.hpp"       // IWYU pragma: export
+#include "sched/ready_queue.hpp"    // IWYU pragma: export
+#include "sched/reference_scheduler.hpp"  // IWYU pragma: export
 #include "sched/schedule.hpp"       // IWYU pragma: export
 #include "sched/sfq_scheduler.hpp"  // IWYU pragma: export
 #include "sched/simulator.hpp"      // IWYU pragma: export
@@ -34,6 +37,7 @@
 #include "dvq/dvq_schedule.hpp"   // IWYU pragma: export
 #include "dvq/dvq_scheduler.hpp"  // IWYU pragma: export
 #include "dvq/dvq_simulator.hpp"  // IWYU pragma: export
+#include "dvq/reference_scheduler.hpp"  // IWYU pragma: export
 #include "dvq/staggered.hpp"      // IWYU pragma: export
 #include "dvq/yield.hpp"          // IWYU pragma: export
 

@@ -1,0 +1,118 @@
+#include "sched/packed_key.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+
+namespace pfair {
+
+namespace {
+
+// Bits needed to store values in [0, range]; 0 for a constant field
+// (shifting by 0 keeps the key unchanged, so empty fields cost nothing).
+int field_bits(std::uint64_t range) {
+  return range == 0 ? 0 : static_cast<int>(std::bit_width(range));
+}
+
+}  // namespace
+
+PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
+    : sys_(&sys), policy_(policy) {
+  // PF's lexicographic successor-bit tie-break has no fixed-width
+  // encoding; it keeps the PriorityOrder fallback.
+  if (policy == Policy::kPf) return;
+
+  const std::int64_t n = sys.num_tasks();
+  const std::int64_t total = sys.total_subtasks();
+  if (total == 0) {
+    packable_ = true;
+    return;
+  }
+
+  // Pass 1: field ranges.
+  std::int64_t min_d = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_d = std::numeric_limits<std::int64_t>::min();
+  std::int64_t max_gd = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (const Subtask& s : sys.task(k).subtasks()) {
+      min_d = std::min(min_d, s.deadline);
+      max_d = std::max(max_d, s.deadline);
+      if (s.group_deadline < 0) return;  // outside the packable domain
+      if (s.bbit) max_gd = std::max(max_gd, s.group_deadline);
+    }
+  }
+
+  // PD refines b-bit ties by weight (heavier first): a dense rank over
+  // the distinct weights, heaviest = 0, packs that comparison too.
+  std::vector<std::uint64_t> weight_rank;
+  std::uint64_t max_rank = 0;
+  if (policy_ == Policy::kPd) {
+    std::vector<std::int64_t> by_weight(static_cast<std::size_t>(n));
+    std::iota(by_weight.begin(), by_weight.end(), std::int64_t{0});
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&sys](std::int64_t a, std::int64_t b) {
+                return sys.task(a).weight().value() >
+                       sys.task(b).weight().value();
+              });
+    weight_rank.assign(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 1; i < by_weight.size(); ++i) {
+      const bool same = sys.task(by_weight[i]).weight().value() ==
+                        sys.task(by_weight[i - 1]).weight().value();
+      weight_rank[static_cast<std::size_t>(by_weight[i])] =
+          weight_rank[static_cast<std::size_t>(by_weight[i - 1])] +
+          (same ? 0 : 1);
+    }
+    max_rank = *std::max_element(weight_rank.begin(), weight_rank.end());
+  }
+
+  const int bits_d =
+      field_bits(static_cast<std::uint64_t>(max_d - min_d));
+  const bool has_tiebreak_fields = policy_ != Policy::kEpdf;
+  const int bits_b = has_tiebreak_fields ? 1 : 0;
+  const int bits_gd =
+      has_tiebreak_fields ? field_bits(static_cast<std::uint64_t>(max_gd))
+                          : 0;
+  const int bits_w = policy_ == Policy::kPd ? field_bits(max_rank) : 0;
+  const int bits_t = field_bits(static_cast<std::uint64_t>(n - 1));
+  if (bits_d + bits_b + bits_gd + bits_w + bits_t > 64) return;
+
+  tie_bits_ = bits_t;
+  keys_.resize(static_cast<std::size_t>(total));
+  std::size_t flat = 0;
+  bool distinct = true;
+  for (std::int64_t k = 0; k < n; ++k) {
+    std::uint64_t prev = 0;
+    const Task& task = sys.task(k);
+    for (std::int64_t s = 0; s < task.num_subtasks(); ++s, ++flat) {
+      const Subtask& sub = task.subtask(s);
+      std::uint64_t key = static_cast<std::uint64_t>(sub.deadline - min_d);
+      if (has_tiebreak_fields) {
+        // b = 1 beats b = 0; rules after the b-bit are consulted only
+        // between two b = 1 subtasks, so they canonicalize to 0 at
+        // b = 0 (equal keys exactly where compare() ties).
+        key = (key << 1) | (sub.bbit ? 0u : 1u);
+        key = (key << bits_gd) |
+              (sub.bbit ? static_cast<std::uint64_t>(max_gd -
+                                                     sub.group_deadline)
+                        : 0u);
+        if (policy_ == Policy::kPd) {
+          key = (key << bits_w)
+                    | (sub.bbit ? weight_rank[static_cast<std::size_t>(k)]
+                                : 0u);
+        }
+      }
+      key = (key << bits_t) | static_cast<std::uint64_t>(k);
+      // Within one task pseudo-deadlines strictly increase, so the
+      // policy fields alone must already be strictly increasing; a
+      // violation would make two live heap entries indistinguishable.
+      if (s > 0 && key <= prev) distinct = false;
+      prev = key;
+      keys_[flat] = key;
+    }
+  }
+  packable_ = distinct;
+  if (!packable_) keys_.clear();
+}
+
+}  // namespace pfair

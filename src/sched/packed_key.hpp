@@ -1,0 +1,75 @@
+// Packed integer priority keys — constant-time priority comparison.
+//
+// EPDF, PD and PD2 order subtasks by a short lexicographic tuple of
+// per-subtask integers that never change once the task system is built
+// (pseudo-deadline; b-bit; group deadline; for PD a weight rank).  That
+// makes the whole tuple packable into one 64-bit integer per subtask,
+// field by field from the most significant bit down, such that
+//
+//   policy_key(a) <  policy_key(b)  <=>  PriorityOrder::compare(a,b) < 0
+//   policy_key(a) == policy_key(b)  <=>  PriorityOrder::compare(a,b) == 0
+//
+// and the branchy multi-field comparison of `compare_impl` becomes one
+// unsigned compare in the scheduler's hot loop.  `order_key` appends the
+// task id as the final field, yielding the same strict total order as
+// `PriorityOrder::higher` (the per-task seq is not needed: a task's
+// pseudo-deadlines are strictly increasing, so two subtasks of one task
+// never collide on the policy fields — asserted during construction).
+//
+// Field widths are sized per task system (bit_width of each field's
+// range) and biased so every field is a small non-negative integer.
+// Fields that a policy consults only conditionally are *canonicalized*:
+// when b = 0, PD/PD2 compare neither group deadline nor weight, so both
+// fields are stored as 0 — equal keys exactly where `compare` ties.
+//
+// PF's tie-break walks the successor b-bit string lexicographically and
+// is not a fixed-width tuple; it keeps `compare_pf_bits`.  `packable()`
+// is false for PF (and in the astronomically-unlikely case the summed
+// field widths exceed 64 bits); callers fall back to PriorityOrder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/priority.hpp"
+#include "tasks/task_system.hpp"
+
+namespace pfair {
+
+/// Precomputed packed priority keys for every subtask of one task
+/// system under one policy.  The system must outlive the keys.
+class PackedKeys {
+ public:
+  PackedKeys(const TaskSystem& sys, Policy policy);
+
+  /// True iff keys were built (policy is EPDF/PD/PD2 and all fields fit
+  /// in 64 bits).  When false the key accessors must not be called.
+  [[nodiscard]] bool packable() const { return packable_; }
+  [[nodiscard]] Policy policy() const { return policy_; }
+
+  /// The policy fields alone: mirrors PriorityOrder::compare exactly
+  /// (including genuine ties, which map to equal keys).
+  [[nodiscard]] std::uint64_t policy_key(const SubtaskRef& ref) const {
+    return keys_[flat(ref)] >> tie_bits_;
+  }
+
+  /// Policy fields plus the task-id tie-break: a strict total order
+  /// identical to PriorityOrder::higher over co-ready subtasks (smaller
+  /// key = higher priority).
+  [[nodiscard]] std::uint64_t order_key(const SubtaskRef& ref) const {
+    return keys_[flat(ref)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t flat(const SubtaskRef& ref) const {
+    return static_cast<std::size_t>(sys_->flat_index(ref));
+  }
+
+  const TaskSystem* sys_;
+  Policy policy_;
+  std::vector<std::uint64_t> keys_;  // task-major flat layout
+  int tie_bits_ = 0;
+  bool packable_ = false;
+};
+
+}  // namespace pfair

@@ -1,0 +1,76 @@
+// The scheduler's incremental ready set: a binary heap of subtask
+// references ordered by the strict total priority order, so one decision
+// pops only the subtasks it schedules instead of re-scanning and
+// re-sorting every task (O(changes x log n) per decision, not O(n)).
+//
+// Two comparison modes, chosen once per run:
+//   * packed  — one unsigned compare on precomputed 64-bit keys
+//               (EPDF/PD/PD2, see sched/packed_key.hpp);
+//   * fallback — PriorityOrder::higher (PF's lexicographic bit-string
+//               tie-break, or the fit-overflow corner case).
+// Both realize the identical strict total order, so pop order — and
+// therefore the schedule — is bit-identical across modes.
+//
+// Entries are never erased in place.  A task's head subtask enters when
+// it becomes available and normally leaves by being popped; when the
+// instrumented (probe-on) path schedules behind the queue's back, the
+// stale entry stays and callers skip it with `is_current` (an entry is
+// live iff it still names its task's next unscheduled subtask).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sched/packed_key.hpp"
+#include "sched/priority.hpp"
+
+namespace pfair {
+
+class ReadyQueue {
+ public:
+  /// Both referents must outlive the queue.  Packed mode is used
+  /// whenever `keys.packable()`.
+  ReadyQueue(const PriorityOrder& order, const PackedKeys& keys)
+      : order_(&order), keys_(&keys), packed_(keys.packable()) {}
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  void push(const SubtaskRef& ref) {
+    heap_.push_back(Entry{packed_ ? keys_->order_key(ref) : 0, ref});
+    std::push_heap(heap_.begin(), heap_.end(), Lower{this});
+  }
+
+  /// Removes and returns the highest-priority entry (possibly stale —
+  /// see header note).  Precondition: !empty().
+  SubtaskRef pop_best() {
+    std::pop_heap(heap_.begin(), heap_.end(), Lower{this});
+    const SubtaskRef ref = heap_.back().ref;
+    heap_.pop_back();
+    return ref;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    SubtaskRef ref;
+  };
+  // std::push_heap keeps the *greatest* element on top, so "lower
+  // priority" is the heap's less-than.
+  struct Lower {
+    const ReadyQueue* q;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (q->packed_) return a.key > b.key;
+      return q->order_->higher(b.ref, a.ref);
+    }
+  };
+
+  std::vector<Entry> heap_;
+  const PriorityOrder* order_;
+  const PackedKeys* keys_;
+  bool packed_;
+};
+
+}  // namespace pfair

@@ -1,0 +1,54 @@
+#include "sched/reference_scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pfair {
+
+SlotSchedule schedule_sfq_reference(const TaskSystem& sys,
+                                    const SfqOptions& opts) {
+  const std::int64_t limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  const PriorityOrder order(sys, opts.policy);
+  SlotSchedule sched(sys);
+
+  const auto n = static_cast<std::size_t>(sys.num_tasks());
+  std::vector<std::int64_t> head(n, 0);
+  std::vector<std::int64_t> last_slot(n, -1);
+  std::int64_t remaining = sys.total_subtasks();
+
+  for (std::int64_t now = 0; now < limit && remaining > 0; ++now) {
+    // Full ready scan: each task's next unscheduled subtask, provided it
+    // is eligible and its predecessor ran in an earlier slot.
+    std::vector<SubtaskRef> ready;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Task& task = sys.task(static_cast<std::int64_t>(k));
+      const std::int64_t h = head[k];
+      if (h >= task.num_subtasks()) continue;
+      const Subtask& s = task.subtask(h);
+      if (s.eligible > now) continue;
+      if (h > 0 && last_slot[k] >= now) continue;
+      ready.push_back(SubtaskRef{static_cast<std::int32_t>(k),
+                                 static_cast<std::int32_t>(h)});
+    }
+    const auto m = std::min<std::size_t>(
+        static_cast<std::size_t>(sys.processors()), ready.size());
+    std::partial_sort(ready.begin(),
+                      ready.begin() + static_cast<std::ptrdiff_t>(m),
+                      ready.end(),
+                      [&order](const SubtaskRef& a, const SubtaskRef& b) {
+                        return order.higher(a, b);
+                      });
+    for (std::size_t r = 0; r < m; ++r) {
+      const SubtaskRef ref = ready[r];
+      sched.place(ref, now, static_cast<int>(r));
+      const auto k = static_cast<std::size_t>(ref.task);
+      ++head[k];
+      last_slot[k] = now;
+      --remaining;
+    }
+  }
+  return sched;
+}
+
+}  // namespace pfair

@@ -1,0 +1,23 @@
+// The naive SFQ scheduler, retained verbatim as a correctness oracle.
+//
+// This is the pre-optimization hot path of SfqSimulator: at every slot,
+// scan all n tasks for ready heads into a fresh vector and partial_sort
+// the M winners with the branchy PriorityOrder comparator — O(n) per
+// decision.  The production scheduler (`schedule_sfq` / SfqSimulator)
+// replaced that with incremental ready-set maintenance and packed keys;
+// the A/B equivalence suite asserts both produce bit-identical
+// schedules over randomized task systems, and `bench_scaling` measures
+// the gap.  Deliberately simple, allocation-happy and probe-free — do
+// not optimize this function.
+#pragma once
+
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+/// Reference counterpart of `schedule_sfq` (same options; `trace` and
+/// `metrics` are ignored — the oracle is unobserved by design).
+[[nodiscard]] SlotSchedule schedule_sfq_reference(const TaskSystem& sys,
+                                                  const SfqOptions& opts = {});
+
+}  // namespace pfair

@@ -7,11 +7,65 @@ namespace pfair {
 SfqSimulator::SfqSimulator(const TaskSystem& sys, Policy policy)
     : sys_(&sys),
       order_(sys, policy),
+      keys_(sys, policy),
+      ready_q_(order_, keys_),
       sched_(sys),
       head_(static_cast<std::size_t>(sys.num_tasks()), 0),
       last_slot_(static_cast<std::size_t>(sys.num_tasks()), -1),
       allocated_(static_cast<std::size_t>(sys.num_tasks()), 0),
-      remaining_(sys.total_subtasks()) {}
+      bucket_next_(static_cast<std::size_t>(sys.num_tasks()), -1),
+      remaining_(sys.total_subtasks()) {
+  ready_q_.reserve(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    if (task.num_subtasks() > 0) {
+      mark_available(k, std::max<std::int64_t>(task.subtask(0).eligible, 0));
+    }
+  }
+}
+
+void SfqSimulator::mark_available(std::int32_t task, std::int64_t slot) {
+  const auto s = static_cast<std::size_t>(slot);
+  if (s >= bucket_head_.size()) {
+    bucket_head_.resize(std::max(s + 1, bucket_head_.size() * 2), -1);
+  }
+  bucket_next_[static_cast<std::size_t>(task)] = bucket_head_[s];
+  bucket_head_[s] = task;
+}
+
+void SfqSimulator::drain_calendar() {
+  while (drained_upto_ < now_) {
+    ++drained_upto_;
+    const auto s = static_cast<std::size_t>(drained_upto_);
+    if (s >= bucket_head_.size()) continue;
+    // A bucket entry always names its task's *current* head: the entry
+    // was created when the predecessor was placed (or at construction),
+    // and the head cannot be scheduled again before this drain.
+    for (std::int32_t k = bucket_head_[s]; k != -1;) {
+      const std::int32_t next = bucket_next_[static_cast<std::size_t>(k)];
+      ready_q_.push(SubtaskRef{
+          k, static_cast<std::int32_t>(head_[static_cast<std::size_t>(k)])});
+      k = next;
+    }
+    bucket_head_[s] = -1;
+  }
+}
+
+void SfqSimulator::commit_placement(const SubtaskRef& ref) {
+  const auto k = static_cast<std::size_t>(ref.task);
+  ++head_[k];
+  last_slot_[k] = now_;
+  ++allocated_[k];
+  --remaining_;
+  const Task& task = sys_->task(ref.task);
+  if (head_[k] < task.num_subtasks()) {
+    // The successor becomes available at the later of its eligibility
+    // time and the slot after its predecessor's quantum.
+    mark_available(ref.task,
+                   std::max<std::int64_t>(
+                       task.subtask(head_[k]).eligible, now_ + 1));
+  }
+}
 
 std::vector<SubtaskRef> SfqSimulator::ready() const {
   std::vector<SubtaskRef> out;
@@ -31,40 +85,53 @@ std::vector<SubtaskRef> SfqSimulator::ready() const {
 }
 
 std::vector<SubtaskRef> SfqSimulator::step() {
-  const bool obs = probe_.enabled();
-  const Time at = Time::slots(now_);
-  if (obs) probe_.begin_decision(TraceEventKind::kSlotBegin, at, now_);
-  std::vector<SubtaskRef> picks = ready();
-  const auto m = std::min<std::size_t>(
-      static_cast<std::size_t>(sys_->processors()), picks.size());
-  if (!obs) [[likely]] {
-    std::partial_sort(picks.begin(),
-                      picks.begin() + static_cast<std::ptrdiff_t>(m),
-                      picks.end(),
-                      [this](const SubtaskRef& a, const SubtaskRef& b) {
-                        return order_.higher(a, b);
-                      });
-  } else {
-    sort_picks_instrumented(picks, m, at);
+  std::vector<SubtaskRef> picks;
+  step_into(picks);
+  return picks;
+}
+
+void SfqSimulator::step_into(std::vector<SubtaskRef>& picks) {
+  drain_calendar();
+  if (probe_.enabled()) [[unlikely]] {
+    step_instrumented(picks);
+    return;
   }
-  picks.resize(m);
-  for (std::size_t r = 0; r < m; ++r) {
-    const SubtaskRef ref = picks[r];
-    sched_.place(ref, now_, static_cast<int>(r));
-    if (obs) [[unlikely]] note_placement(at, ref, static_cast<int>(r));
-    const auto k = static_cast<std::size_t>(ref.task);
-    ++head_[k];
-    last_slot_[k] = now_;
-    ++allocated_[k];
-    --remaining_;
+  const auto m = static_cast<std::size_t>(sys_->processors());
+  while (picks.size() < m && !ready_q_.empty()) {
+    const SubtaskRef ref = ready_q_.pop_best();
+    // Skip entries scheduled behind the heap's back by an instrumented
+    // step (the head moved on).
+    if (head_[static_cast<std::size_t>(ref.task)] != ref.seq) continue;
+    sched_.place(ref, now_, static_cast<int>(picks.size()));
+    commit_placement(ref);
+    picks.push_back(ref);
   }
   ++now_;
-  if (obs) probe_.end_decision();
-  return picks;
 }
 
 // noinline: instrumented-path-only code; folding these into step() costs
 // the *uninstrumented* path measurable icache pressure.
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void SfqSimulator::step_instrumented(std::vector<SubtaskRef>& picks) {
+  const Time at = Time::slots(now_);
+  probe_.begin_decision(TraceEventKind::kSlotBegin, at, now_);
+  picks = ready();
+  const auto m = std::min<std::size_t>(
+      static_cast<std::size_t>(sys_->processors()), picks.size());
+  sort_picks_instrumented(picks, m, at);
+  picks.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const SubtaskRef ref = picks[r];
+    sched_.place(ref, now_, static_cast<int>(r));
+    note_placement(at, ref, static_cast<int>(r));
+    commit_placement(ref);
+  }
+  ++now_;
+  probe_.end_decision();
+}
+
 #if defined(__GNUC__)
 __attribute__((noinline))
 #endif
@@ -117,7 +184,10 @@ void SfqSimulator::note_placement(Time at, SubtaskRef ref, int proc) {
 }
 
 void SfqSimulator::run_until(std::int64_t slot_limit) {
-  while (!done() && now_ < slot_limit) step();
+  while (!done() && now_ < slot_limit) {
+    scratch_picks_.clear();
+    step_into(scratch_picks_);
+  }
 }
 
 Rational SfqSimulator::lag_of(std::int64_t task) const {

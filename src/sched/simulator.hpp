@@ -5,6 +5,23 @@
 // One `step()` performs the scheduling decisions of exactly one slot.
 // `schedule_sfq` is implemented on top of this class, so both paths are
 // always behaviourally identical.
+//
+// Per-decision cost is O(changes), not O(tasks): readiness transitions
+// are indexed in a calendar of per-slot buckets (a task's head subtask
+// becomes available at max(its eligibility, the slot after its
+// predecessor ran) — a slot known the moment the predecessor is placed),
+// and available heads wait in a priority heap ordered by packed 64-bit
+// keys (see sched/packed_key.hpp and sched/ready_queue.hpp).  A slot
+// decision drains one bucket and pops at most M winners.  The schedule
+// is bit-identical to the retained naive reference
+// (`schedule_sfq_reference`), which re-scans and re-sorts everything —
+// the A/B equivalence suite asserts this across policies and workloads.
+//
+// With a probe attached (trace sink or metrics), step() instead takes
+// the instrumented path: the naive full scan plus the event-reporting
+// partial_sort, unchanged from before this optimization, so trace
+// streams and metric values stay exactly stable.  Instrumented or not,
+// the placements are the same.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +29,9 @@
 
 #include "core/rational.hpp"
 #include "obs/probe.hpp"
+#include "sched/packed_key.hpp"
 #include "sched/priority.hpp"
+#include "sched/ready_queue.hpp"
 #include "sched/schedule.hpp"
 
 namespace pfair {
@@ -31,7 +50,8 @@ class SfqSimulator {
   [[nodiscard]] bool done() const { return remaining_ == 0; }
 
   /// The subtasks that would be ready if the current slot were scheduled
-  /// now (unsorted, one per task at most).
+  /// now (unsorted, one per task at most).  Introspection only — a full
+  /// scan, not the hot path.
   [[nodiscard]] std::vector<SubtaskRef> ready() const;
 
   /// Schedules slot now(), returns the chosen subtasks in priority order
@@ -59,20 +79,42 @@ class SfqSimulator {
   void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
 
  private:
-  // Cold counterparts of step()'s plain sort / placement bookkeeping:
-  // identical behaviour plus trace/metrics reporting, kept out of line so
-  // the uninstrumented path stays compact.
+  // One slot's decisions appended into `picks` (not cleared; reused as a
+  // scratch buffer by run_until so the hot loop never reallocates).
+  void step_into(std::vector<SubtaskRef>& picks);
+  // The pre-optimization slot body: naive scan + instrumented sort +
+  // trace/metrics reporting.  Identical placements, full reporting.
+  void step_instrumented(std::vector<SubtaskRef>& picks);
   void sort_picks_instrumented(std::vector<SubtaskRef>& picks,
                                std::size_t m, Time at);
   void note_placement(Time at, SubtaskRef ref, int proc);
 
+  // Bookkeeping shared by both paths for one placement in slot now():
+  // head/lag/progress counters plus the successor's calendar entry.
+  void commit_placement(const SubtaskRef& ref);
+  // Marks task `task`'s current head available from `slot` on.
+  void mark_available(std::int32_t task, std::int64_t slot);
+  // Moves every head that became available by now() into the ready heap.
+  void drain_calendar();
+
   const TaskSystem* sys_;
   SchedProbe probe_;
   PriorityOrder order_;
+  PackedKeys keys_;
+  ReadyQueue ready_q_;
   SlotSchedule sched_;
   std::vector<std::int64_t> head_;
   std::vector<std::int64_t> last_slot_;
   std::vector<std::int64_t> allocated_;
+
+  // Calendar of availability transitions: bucket_head_[slot] starts an
+  // intrusive singly-linked list through bucket_next_ (at most one
+  // pending transition per task, so no per-bucket allocation).
+  std::vector<std::int32_t> bucket_head_;
+  std::vector<std::int32_t> bucket_next_;
+  std::int64_t drained_upto_ = -1;
+
+  std::vector<SubtaskRef> scratch_picks_;
   std::int64_t now_ = 0;
   std::int64_t remaining_;
 };

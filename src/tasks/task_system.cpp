@@ -11,6 +11,11 @@ TaskSystem::TaskSystem(std::vector<Task> tasks, int processors)
   PFAIR_REQUIRE(
       tasks_.size() <= static_cast<std::size_t>(INT32_MAX),
       "too many tasks");
+  subtask_offsets_.reserve(tasks_.size() + 1);
+  subtask_offsets_.push_back(0);
+  for (const Task& t : tasks_) {
+    subtask_offsets_.push_back(subtask_offsets_.back() + t.num_subtasks());
+  }
 }
 
 Rational TaskSystem::total_utilization() const {
@@ -27,12 +32,6 @@ std::int64_t TaskSystem::max_deadline() const {
   std::int64_t m = 0;
   for (const Task& t : tasks_) m = std::max(m, t.max_deadline());
   return m;
-}
-
-std::int64_t TaskSystem::total_subtasks() const {
-  std::int64_t n = 0;
-  for (const Task& t : tasks_) n += t.num_subtasks();
-  return n;
 }
 
 TaskSystem TaskSystem::with_early_release() const {

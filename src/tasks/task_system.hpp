@@ -40,8 +40,25 @@ class TaskSystem {
   /// Latest subtask deadline across all tasks.
   [[nodiscard]] std::int64_t max_deadline() const;
 
-  /// Total number of materialized subtasks.
-  [[nodiscard]] std::int64_t total_subtasks() const;
+  /// Total number of materialized subtasks (precomputed; O(1)).
+  [[nodiscard]] std::int64_t total_subtasks() const {
+    return subtask_offsets_.back();
+  }
+
+  /// Position of task `idx`'s first subtask in the flat, task-major
+  /// enumeration of all subtasks — the indexing scheme shared by every
+  /// per-subtask side table (packed priority keys, schedules, exports).
+  /// `subtask_offset(num_tasks()) == total_subtasks()`.
+  [[nodiscard]] std::int64_t subtask_offset(std::int64_t idx) const {
+    PFAIR_REQUIRE(idx >= 0 && idx <= num_tasks(),
+                  "task index " << idx << " out of range");
+    return subtask_offsets_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Flat index of one subtask (see subtask_offset).
+  [[nodiscard]] std::int64_t flat_index(const SubtaskRef& ref) const {
+    return subtask_offset(ref.task) + ref.seq;
+  }
 
   /// Applies the early-release transform to every task.
   [[nodiscard]] TaskSystem with_early_release() const;
@@ -51,6 +68,7 @@ class TaskSystem {
 
  private:
   std::vector<Task> tasks_;
+  std::vector<std::int64_t> subtask_offsets_;  // size num_tasks() + 1
   int processors_;
 };
 

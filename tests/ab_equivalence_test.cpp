@@ -1,0 +1,239 @@
+// Randomized A/B equivalence: the optimized simulators (calendar +
+// packed-key ready heaps) must produce bit-identical schedules to the
+// retained naive references, across policies, workload shapes, and with
+// or without observability attached.  This is the contract that lets the
+// hot path change shape while every downstream analysis stays exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "core/thread_pool.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "dvq/reference_scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/reference_scheduler.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "sched/simulator.hpp"
+#include "dvq/dvq_simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+constexpr Policy kAllPolicies[] = {Policy::kEpdf, Policy::kPf, Policy::kPd,
+                                   Policy::kPd2};
+constexpr int kSeeds = 50;
+
+// Workload shapes cycle with the seed: pure periodic, IS jitter, GIS
+// drops, and early eligibility (Eq. (6)), over varying machine sizes,
+// utilizations and weight classes.
+TaskSystem make_system(int seed) {
+  GeneratorConfig cfg;
+  cfg.processors = 2 + seed % 5;
+  cfg.target_util = Rational(cfg.processors) - Rational(1, 2 + seed % 3);
+  cfg.weights = static_cast<WeightClass>(seed % 4);
+  cfg.horizon = 12 + (seed % 4) * 8;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(seed);
+  TaskSystem sys = generate_periodic(cfg);
+  const auto s = static_cast<std::uint64_t>(seed);
+  switch (seed % 4) {
+    case 1:
+      sys = add_is_jitter(sys, 3, 1, 3, s);
+      break;
+    case 2:
+      sys = drop_subtasks(sys, 1, 8, s);
+      break;
+    case 3:
+      sys = advance_eligibility(sys, 2, 1, 4, s);
+      break;
+    default:
+      break;
+  }
+  return sys;
+}
+
+bool same_sfq(const SlotSchedule& a, const SlotSchedule& b,
+              const TaskSystem& sys, std::string* why) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t t = 0; t < sys.task(k).num_subtasks(); ++t) {
+      const SubtaskRef ref{k, t};
+      const SlotPlacement& pa = a.placement(ref);
+      const SlotPlacement& pb = b.placement(ref);
+      if (pa.slot != pb.slot || pa.proc != pb.proc) {
+        std::ostringstream os;
+        os << ref << ": slot " << pa.slot << "/proc " << pa.proc << " vs "
+           << pb.slot << "/" << pb.proc;
+        *why = os.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_dvq(const DvqSchedule& a, const DvqSchedule& b,
+              const TaskSystem& sys, std::string* why) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t t = 0; t < sys.task(k).num_subtasks(); ++t) {
+      const SubtaskRef ref{k, t};
+      const DvqPlacement& pa = a.placement(ref);
+      const DvqPlacement& pb = b.placement(ref);
+      if (pa.start != pb.start || pa.cost != pb.cost || pa.proc != pb.proc) {
+        std::ostringstream os;
+        os << ref << ": start " << pa.start.raw_ticks() << "/proc "
+           << pa.proc << " vs " << pb.start.raw_ticks() << "/" << pb.proc;
+        *why = os.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// gtest assertions are not thread-safe; workers record failures and the
+// main thread reports them.
+struct FailureLog {
+  std::mutex mu;
+  std::atomic<int> count{0};
+  std::string first;
+
+  void record(const std::string& what) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    if (first.empty()) first = what;
+  }
+};
+
+TEST(AbEquivalence, SfqMatchesNaiveReferenceAcrossSeedsAndPolicies) {
+  FailureLog failures;
+  global_pool().parallel_for(
+      0, kSeeds * 4,
+      [&](std::int64_t i) {
+          const int seed = static_cast<int>(i / 4);
+          const Policy policy = kAllPolicies[i % 4];
+          const TaskSystem sys = make_system(seed);
+          SfqOptions opts;
+          opts.policy = policy;
+          const SlotSchedule ref = schedule_sfq_reference(sys, opts);
+          const SlotSchedule fast = schedule_sfq(sys, opts);
+
+          SfqOptions obs_opts = opts;
+          RingBufferSink sink(512);
+          MetricsRegistry reg;
+          obs_opts.trace = &sink;
+          obs_opts.metrics = &reg;
+          const SlotSchedule instrumented = schedule_sfq(sys, obs_opts);
+
+          std::string why;
+          const std::string tag = "seed " + std::to_string(seed) + " " +
+                                  to_string(policy);
+          if (!same_sfq(ref, fast, sys, &why)) {
+            failures.record(tag + " fast: " + why);
+          }
+          if (!same_sfq(ref, instrumented, sys, &why)) {
+            failures.record(tag + " instrumented: " + why);
+          }
+      });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+TEST(AbEquivalence, DvqMatchesNaiveReferenceAcrossSeedsAndPolicies) {
+  FailureLog failures;
+  global_pool().parallel_for(
+      0, kSeeds * 4,
+      [&](std::int64_t i) {
+          const int seed = static_cast<int>(i / 4);
+          const Policy policy = kAllPolicies[i % 4];
+          const TaskSystem sys = make_system(seed);
+          const BernoulliYield yields(
+              static_cast<std::uint64_t>(seed) * 7919 + 3, 1, 3, kTick,
+              kQuantum - kTick);
+          DvqOptions opts;
+          opts.policy = policy;
+          const DvqSchedule ref = schedule_dvq_reference(sys, yields, opts);
+          const DvqSchedule fast = schedule_dvq(sys, yields, opts);
+
+          DvqOptions obs_opts = opts;
+          RingBufferSink sink(512);
+          MetricsRegistry reg;
+          obs_opts.trace = &sink;
+          obs_opts.metrics = &reg;
+          const DvqSchedule instrumented =
+              schedule_dvq(sys, yields, obs_opts);
+
+          std::string why;
+          const std::string tag = "seed " + std::to_string(seed) + " " +
+                                  to_string(policy);
+          if (!same_dvq(ref, fast, sys, &why)) {
+            failures.record(tag + " fast: " + why);
+          }
+          if (!same_dvq(ref, instrumented, sys, &why)) {
+            failures.record(tag + " instrumented: " + why);
+          }
+      });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+// Toggling the probe mid-run switches between the instrumented scan and
+// the incremental heap; the schedule must not notice.  This exercises
+// the stale-entry skip in the ready queue (entries consumed behind its
+// back by instrumented steps).
+TEST(AbEquivalence, SfqMixedInstrumentationStaysIdentical) {
+  for (const Policy policy : kAllPolicies) {
+    const TaskSystem sys = make_system(5);
+    SfqOptions opts;
+    opts.policy = policy;
+    const SlotSchedule ref = schedule_sfq_reference(sys, opts);
+
+    SfqSimulator sim(sys, policy);
+    RingBufferSink sink(512);
+    sim.set_trace_sink(&sink);
+    const std::int64_t horizon = default_horizon(sys);
+    sim.run_until(3);              // instrumented slots 0..2
+    sim.set_trace_sink(nullptr);   // fast path from slot 3
+    sim.run_until(horizon / 2);
+    sim.set_trace_sink(&sink);     // and back
+    sim.run_until(horizon / 2 + 2);
+    sim.set_trace_sink(nullptr);
+    sim.run_until(horizon);
+
+    std::string why;
+    ASSERT_TRUE(same_sfq(ref, sim.schedule(), sys, &why))
+        << to_string(policy) << ": " << why;
+  }
+}
+
+TEST(AbEquivalence, DvqMixedInstrumentationStaysIdentical) {
+  for (const Policy policy : kAllPolicies) {
+    const TaskSystem sys = make_system(6);
+    const BernoulliYield yields(17, 1, 2, kTick, kQuantum - kTick);
+    DvqOptions opts;
+    opts.policy = policy;
+    const DvqSchedule ref = schedule_dvq_reference(sys, yields, opts);
+
+    DvqSimulator sim(sys, yields, policy);
+    RingBufferSink sink(512);
+    sim.set_trace_sink(&sink);
+    for (int i = 0; i < 3 && sim.has_events(); ++i) sim.step();
+    sim.set_trace_sink(nullptr);
+    const std::int64_t horizon = default_horizon(sys);
+    const Time limit = Time::slots(horizon);
+    sim.run_until(Time::slots(horizon / 2));
+    sim.set_trace_sink(&sink);
+    for (int i = 0; i < 2 && sim.has_events(); ++i) sim.step();
+    sim.set_trace_sink(nullptr);
+    sim.run_until(limit);
+
+    std::string why;
+    ASSERT_TRUE(same_dvq(ref, sim.schedule(), sys, &why))
+        << to_string(policy) << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,116 @@
+// Packed priority keys must mirror the rule-by-rule comparator exactly:
+//   policy_key(a) <=> policy_key(b)  iff  PriorityOrder::compare(a, b)
+//   order_key(a)  <  order_key(b)   iff  PriorityOrder::higher(a, b)
+// checked exhaustively over every subtask pair of the paper's running
+// examples (Table 1 / Figs. 1-7) and a generated workload.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sched/packed_key.hpp"
+#include "sched/priority.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+std::vector<SubtaskRef> all_refs(const TaskSystem& sys) {
+  std::vector<SubtaskRef> out;
+  out.reserve(static_cast<std::size_t>(sys.total_subtasks()));
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      out.push_back(SubtaskRef{k, s});
+    }
+  }
+  return out;
+}
+
+void expect_keys_mirror_compare(const TaskSystem& sys, Policy policy,
+                                const std::string& label) {
+  SCOPED_TRACE(label);
+  const PriorityOrder order(sys, policy);
+  const PackedKeys keys(sys, policy);
+  if (policy == Policy::kPf) {
+    // PF compares lexicographic successor b-bit strings — not a
+    // fixed-width tuple, deliberately not packed.
+    EXPECT_FALSE(keys.packable());
+    return;
+  }
+  ASSERT_TRUE(keys.packable());
+  const std::vector<SubtaskRef> refs = all_refs(sys);
+  for (const SubtaskRef& a : refs) {
+    for (const SubtaskRef& b : refs) {
+      const int c = order.compare(a, b);
+      const std::uint64_t ka = keys.policy_key(a);
+      const std::uint64_t kb = keys.policy_key(b);
+      if (c < 0) {
+        ASSERT_LT(ka, kb) << a << " vs " << b;
+      } else if (c > 0) {
+        ASSERT_GT(ka, kb) << a << " vs " << b;
+      } else {
+        ASSERT_EQ(ka, kb) << a << " vs " << b;
+      }
+      ASSERT_EQ(keys.order_key(a) < keys.order_key(b), order.higher(a, b))
+          << a << " vs " << b;
+    }
+  }
+}
+
+constexpr Policy kAllPolicies[] = {Policy::kEpdf, Policy::kPf, Policy::kPd,
+                                   Policy::kPd2};
+
+TEST(PackedKey, MirrorsCompareOnPaperSystems) {
+  const struct {
+    const char* name;
+    TaskSystem sys;
+  } systems[] = {
+      {"fig1_periodic", fig1_periodic()},
+      {"fig1_intra_sporadic", fig1_intra_sporadic()},
+      {"fig1_gis", fig1_gis()},
+      {"fig2", fig2_scenario(kTick).system},
+      {"fig3", fig3_scenario(kTick).system},
+      {"fig6", fig6_system()},
+  };
+  for (const auto& s : systems) {
+    for (const Policy policy : kAllPolicies) {
+      expect_keys_mirror_compare(
+          s.sys, policy,
+          std::string(s.name) + "/" + std::string(to_string(policy)));
+    }
+  }
+}
+
+TEST(PackedKey, MirrorsCompareOnGeneratedWorkloads) {
+  GeneratorConfig cfg;
+  cfg.processors = 3;
+  cfg.target_util = Rational(5, 2);
+  cfg.weights = WeightClass::kMixed;
+  cfg.horizon = 24;
+  cfg.seed = 7;
+  const TaskSystem periodic = generate_periodic(cfg);
+  const TaskSystem jittered = add_is_jitter(periodic, 3, 1, 3, 11);
+  const TaskSystem gis = drop_subtasks(jittered, 1, 6, 13);
+  for (const Policy policy : kAllPolicies) {
+    expect_keys_mirror_compare(periodic, policy, "periodic");
+    expect_keys_mirror_compare(jittered, policy, "jittered");
+    expect_keys_mirror_compare(gis, policy, "gis");
+  }
+}
+
+// The guarantee the packing leans on: within one task, pseudo-deadlines
+// strictly increase, so the task-id tie-break never reorders same-task
+// subtasks relative to `higher`.
+TEST(PackedKey, WithinTaskDeadlinesStrictlyIncrease) {
+  const TaskSystem sys = fig6_system();
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    const Task& task = sys.task(k);
+    for (std::int32_t s = 1; s < task.num_subtasks(); ++s) {
+      EXPECT_LT(task.subtask(s - 1).deadline, task.subtask(s).deadline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfair
