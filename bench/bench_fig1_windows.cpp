@@ -21,7 +21,8 @@ void draw(const TaskSystem& sys, std::int64_t width) {
   std::cout << "   t:  ";
   for (std::int64_t i = 0; i <= width; ++i) std::cout << i % 10;
   std::cout << '\n';
-  for (const Subtask& s : t.subtasks()) {
+  for (std::int64_t n = 0; n < t.num_subtasks(); ++n) {
+    const Subtask s = t.subtask_at(n);
     std::ostringstream row;
     row << "  T_" << s.index << ":  ";
     for (std::int64_t i = 0; i < s.release; ++i) row << ' ';
@@ -37,7 +38,8 @@ void draw(const TaskSystem& sys, std::int64_t width) {
 bool check_against_formulas(const TaskSystem& sys) {
   const Task& t = sys.task(0);
   bool ok = true;
-  for (const Subtask& s : t.subtasks()) {
+  for (std::int64_t n = 0; n < t.num_subtasks(); ++n) {
+    const Subtask s = t.subtask_at(n);
     ok &= s.release == s.theta + pseudo_release(t.weight(), s.index);
     ok &= s.deadline == s.theta + pseudo_deadline(t.weight(), s.index);
     ok &= s.bbit == b_bit(t.weight(), s.index);

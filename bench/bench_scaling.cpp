@@ -22,20 +22,34 @@ namespace {
 using namespace pfair;
 
 constexpr std::int64_t kHorizon = 96;
+// The construction sweep materializes far past the scheduling horizon:
+// the point is the cost of building the subtask sequences themselves.
+constexpr std::int64_t kConstructionHorizon = 1024;
 
-TaskSystem make_scaling_system(std::int64_t n) {
-  // Light weights from a small denominator set: per-slot ready sets stay
-  // a small fraction of n, which is exactly the regime where a full
-  // rescan wastes the most work.
-  constexpr std::int64_t kDens[] = {16, 24, 32, 48, 64};
+// Light weights from a small denominator set: per-slot ready sets stay
+// a small fraction of n, which is exactly the regime where a full
+// rescan wastes the most work.
+constexpr std::int64_t kDens[] = {16, 24, 32, 48, 64};
+
+std::vector<Task> build_tasks(std::int64_t n, std::int64_t horizon,
+                              bool eager, WindowTableCache* cache) {
   std::vector<Task> tasks;
   tasks.reserve(static_cast<std::size_t>(n));
-  Rational util(0);
   for (std::int64_t i = 0; i < n; ++i) {
     const Weight w(1, kDens[i % 5]);
-    util += w.value();
-    tasks.push_back(Task::periodic("t" + std::to_string(i), w, kHorizon));
+    std::string name = "t" + std::to_string(i);
+    tasks.push_back(
+        eager ? Task::periodic_phased_eager(std::move(name), w, 0, horizon)
+              : Task::periodic_phased(std::move(name), w, 0, horizon, cache));
   }
+  return tasks;
+}
+
+TaskSystem make_scaling_system(std::int64_t n) {
+  std::vector<Task> tasks = build_tasks(n, kHorizon, /*eager=*/false,
+                                        /*cache=*/nullptr);
+  Rational util(0);
+  for (const Task& t : tasks) util += t.weight().value();
   const auto procs = static_cast<int>(util.ceil());
   return TaskSystem(std::move(tasks), procs);
 }
@@ -158,9 +172,94 @@ int run_bench(pfair::bench::BenchContext& ctx) {
   std::cout << t.str() << "\n";
   std::cout << "horizon " << kHorizon << " slots; fast = incremental "
             << "(calendar/event heaps + packed keys), ref = naive rescan\n";
-  const bool ok = all_identical &&
-                  (sfq_speedup_max_n >= 5.0 || dvq_speedup_max_n >= 5.0);
-  std::cout << "shape check (bit-identical everywhere, >=5x at n=16384): "
+
+  // --- Construction: flyweight window tables vs eager materialization ---
+  // Times the pre-flyweight construction path (every subtask built and
+  // validated) against the flyweight one (per task: a count plus a shared
+  // table, built once per distinct rate — the fresh local cache inside the
+  // timed region charges the table builds to the flyweight side).
+  std::cout << "\n=== construction: flyweight tables vs eager "
+            << "materialization (horizon " << kConstructionHorizon
+            << ") ===\n\n";
+  TextTable ct;
+  ct.header({"n", "subtasks", "eager (ms)", "fly (ms)", "x", "eager (KiB)",
+             "fly (KiB)", "mem x", "identical"});
+  double construct_speedup_max_n = 0.0, construct_mem_ratio_max_n = 0.0;
+  bool construction_identical = true;
+  for (const std::int64_t n : {4096L, 16384L}) {
+    const int reps = 3;
+    std::int64_t sink = 0;
+    const double eager_ms = best_ms(reps, [&] {
+      const std::vector<Task> tasks =
+          build_tasks(n, kConstructionHorizon, /*eager=*/true, nullptr);
+      sink += tasks.back().num_subtasks();
+    });
+    const double fly_ms = best_ms(reps, [&] {
+      WindowTableCache cache;
+      const std::vector<Task> tasks =
+          build_tasks(n, kConstructionHorizon, /*eager=*/false, &cache);
+      sink += tasks.back().num_subtasks();
+    });
+    PFAIR_ASSERT(sink > 0);
+
+    Rational util(0);
+    for (std::int64_t i = 0; i < n; ++i) util += Rational(1, kDens[i % 5]);
+    const auto procs = static_cast<int>(util.ceil());
+    WindowTableCache cache;
+    const TaskSystem fly_sys(
+        build_tasks(n, kConstructionHorizon, false, &cache), procs);
+    const TaskSystem eager_sys(
+        build_tasks(n, kConstructionHorizon, true, nullptr), procs);
+    const auto eager_bytes = eager_sys.subtask_memory_bytes();
+    const auto fly_bytes = fly_sys.subtask_memory_bytes();
+
+    SfqOptions copts;
+    copts.horizon_limit = kConstructionHorizon + 8;
+    const bool identical = same_sfq(schedule_sfq(fly_sys, copts),
+                                    schedule_sfq(eager_sys, copts), fly_sys);
+    construction_identical &= identical;
+
+    const double x = eager_ms / std::max(fly_ms, 1e-9);
+    const double mem_x = static_cast<double>(eager_bytes) /
+                         std::max<double>(static_cast<double>(fly_bytes), 1);
+    if (n == 16384) {
+      construct_speedup_max_n = x;
+      construct_mem_ratio_max_n = mem_x;
+    }
+
+    const std::string tag = std::to_string(n);
+    ctx.value("construction.eager_ms." + tag, eager_ms);
+    ctx.value("construction.fly_ms." + tag, fly_ms);
+    ctx.value("construction.speedup." + tag, x);
+    ctx.value("construction.eager_bytes." + tag,
+              static_cast<double>(eager_bytes));
+    ctx.value("construction.fly_bytes." + tag,
+              static_cast<double>(fly_bytes));
+    ctx.value("construction.mem_ratio." + tag, mem_x);
+    for (const auto& [name, ms] :
+         {std::pair<const char*, double>{"construction/", fly_ms},
+          {"construction_eager/", eager_ms}}) {
+      pfair::bench::BenchCase c;
+      c.name = std::string(name) + tag;
+      c.ns_per_op = ms * 1e6;
+      c.iterations = reps;
+      ctx.add_case(std::move(c));
+    }
+
+    ct.row({cell(n), cell(fly_sys.total_subtasks()), cell(eager_ms, 2),
+            cell(fly_ms, 2), cell(x, 1),
+            cell(static_cast<std::int64_t>(eager_bytes / 1024)),
+            cell(static_cast<std::int64_t>(fly_bytes / 1024)),
+            cell(mem_x, 1), identical ? "yes" : "NO"});
+  }
+  std::cout << ct.str() << "\n";
+
+  const bool ok = all_identical && construction_identical &&
+                  (sfq_speedup_max_n >= 5.0 || dvq_speedup_max_n >= 5.0) &&
+                  construct_speedup_max_n >= 5.0 &&
+                  construct_mem_ratio_max_n >= 10.0;
+  std::cout << "shape check (bit-identical everywhere, >=5x sched at "
+            << "n=16384, >=5x construction and >=10x memory at n=16384): "
             << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }

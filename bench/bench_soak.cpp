@@ -2,7 +2,11 @@
 // long horizon, thousands of subtasks) through every scheduler, with all
 // invariants re-checked and wall-clock throughput reported.  Guards the
 // library's O(.) behaviour and shows the bounds do not erode with scale.
+#include <sys/resource.h>
+
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "pfair/pfair.hpp"
@@ -17,9 +21,75 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Peak resident set size of the process so far, in bytes (Linux
+/// ru_maxrss is KiB).
+std::size_t peak_rss_bytes() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
+
+/// S1-large: the flyweight-era tier.  M = 16 at full utilization over a
+/// one-million-slot horizon — ~1.6e7 subtasks, a system the eager
+/// construction path could not hold in memory (~1 GiB of Subtasks alone
+/// before the schedule exists).  Reports the construction / simulation
+/// wall split and peak RSS, and requires the whole run under 1 GiB.
+/// Gated on PFAIR_SOAK_LARGE=1: minutes-scale, meant for perf sessions,
+/// not the default bench sweep.
+int run_large_tier(pfair::bench::BenchContext& ctx) {
+  using namespace pfair;
+  constexpr std::int64_t kLargeHorizon = 1'000'000;
+  std::cout << "\n=== S1-large: M = 16, horizon " << kLargeHorizon
+            << " (PFAIR_SOAK_LARGE) ===\n\n";
+
+  const std::size_t rss_before = peak_rss_bytes();
+  GeneratorConfig cfg;
+  cfg.processors = 16;
+  cfg.target_util = Rational(16);
+  cfg.horizon = kLargeHorizon;
+  cfg.seed = 4242;
+  const auto t0 = std::chrono::steady_clock::now();
+  const TaskSystem sys = generate_periodic(cfg);
+  const double construct_ms = ms_since(t0);
+  std::cout << sys.summary() << '\n';
+  std::cout << "construction: " << construct_ms << " ms, subtask storage "
+            << sys.subtask_memory_bytes() << " bytes\n";
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const SlotSchedule s = schedule_sfq(sys);
+  const double sim_ms = ms_since(t1);
+  const bool valid = s.complete() && check_slot_schedule(sys, s).valid();
+
+  const std::size_t rss = peak_rss_bytes();
+  constexpr std::size_t kGiB = std::size_t{1} << 30;
+  const bool under_budget = rss < kGiB;
+  std::cout << "simulation:   " << sim_ms << " ms ("
+            << static_cast<double>(sys.total_subtasks()) / sim_ms
+            << " subtasks/ms)\n";
+  std::cout << "wall split:   construction "
+            << 100.0 * construct_ms / (construct_ms + sim_ms)
+            << "% / simulation "
+            << 100.0 * sim_ms / (construct_ms + sim_ms) << "%\n";
+  std::cout << "peak RSS:     " << static_cast<double>(rss) / (1 << 20)
+            << " MiB (" << static_cast<double>(rss_before) / (1 << 20)
+            << " MiB at entry)\n";
+
+  ctx.value("large.construct_ms", construct_ms);
+  ctx.value("large.sim_ms", sim_ms);
+  ctx.value("large.peak_rss_bytes", static_cast<double>(rss));
+  ctx.value("large.subtasks", static_cast<double>(sys.total_subtasks()));
+
+  const bool ok = valid && under_budget &&
+                  sys.total_subtasks() > 10'000'000;
+  std::cout << "shape check (valid schedule, > 1e7 subtasks, peak RSS < "
+               "1 GiB): "
+            << (ok ? "PASS" : "FAIL") << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int run_bench(pfair::bench::BenchContext&) {
+int run_bench(pfair::bench::BenchContext& ctx) {
   using namespace pfair;
   std::cout << "=== S1: scale soak (M = 16, horizon 240) ===\n\n";
 
@@ -101,6 +171,12 @@ int run_bench(pfair::bench::BenchContext&) {
                "lower (or comparable) cost; tardiness bounds are "
                "unchanged.\n\n";
   std::cout << "shape check: " << (ok ? "PASS" : "FAIL") << '\n';
+
+  const char* large = std::getenv("PFAIR_SOAK_LARGE");
+  if (large != nullptr && std::strcmp(large, "1") == 0) {
+    const int rc = run_large_tier(ctx);
+    if (rc != 0) return rc;
+  }
   return ok ? 0 : 1;
 }
 

@@ -49,7 +49,7 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
   for (std::size_t k = 0; k < head_.size(); ++k) {
     const Task& task = sys.task(static_cast<std::int64_t>(k));
     if (task.num_subtasks() > 0) {
-      ready_at_[k] = Time::slots(task.subtask(0).eligible);
+      ready_at_[k] = Time::slots(task.eligible_at(0));
       pending_.push_back(Pending{
           ready_at_[k], SubtaskRef{static_cast<std::int32_t>(k), 0}});
     }
@@ -96,7 +96,7 @@ Time DvqSimulator::commit_placement(const SubtaskRef& ref, Time t,
   const Task& task = sys_->task(ref.task);
   if (head_[k] < task.num_subtasks()) {
     ready_at_[k] = std::max(
-        Time::slots(task.subtask(head_[k]).eligible), pr.busy_until);
+        Time::slots(task.eligible_at(head_[k])), pr.busy_until);
     pending_.push_back(Pending{
         ready_at_[k], SubtaskRef{ref.task, ref.seq + 1}});
     std::push_heap(pending_.begin(), pending_.end(), kLaterPending);

@@ -65,7 +65,8 @@ CsvWriter export_task_system(const TaskSystem& sys) {
             "deadline", "eligible", "bbit", "group_deadline"});
   for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
     const Task& task = sys.task(k);
-    for (const Subtask& s : task.subtasks()) {
+    for (std::int32_t i = 0; i < task.num_subtasks(); ++i) {
+      const Subtask s = task.subtask_at(i);
       w.row({std::to_string(k), task.name(), task.weight().str(),
              std::to_string(s.index), std::to_string(s.theta),
              std::to_string(s.release), std::to_string(s.deadline),

@@ -39,7 +39,8 @@ std::string render_slot_schedule(const TaskSystem& sys,
     const Task& task = sys.task(k);
     std::string row(static_cast<std::size_t>(slots), ' ');
     if (opts.show_windows) {
-      for (const Subtask& sub : task.subtasks()) {
+      for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
+        const Subtask sub = task.subtask_at(s);
         for (std::int64_t t = std::max<std::int64_t>(0, sub.release);
              t < std::min(slots, sub.deadline); ++t) {
           char& c = row[static_cast<std::size_t>(t)];
@@ -134,7 +135,8 @@ std::string describe_subtasks(const TaskSystem& sys) {
   std::ostringstream os;
   os << "task      i  theta      r      d  e      b  grpD\n";
   for (const Task& task : sys.tasks()) {
-    for (const Subtask& s : task.subtasks()) {
+    for (std::int64_t i = 0; i < task.num_subtasks(); ++i) {
+      const Subtask s = task.subtask_at(i);
       os << std::left << std::setw(8) << task.name() << std::right
          << std::setw(3) << s.index << std::setw(7) << s.theta
          << std::setw(7) << s.release << std::setw(7) << s.deadline

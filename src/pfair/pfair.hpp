@@ -20,6 +20,7 @@
 #include "tasks/group_deadline.hpp"  // IWYU pragma: export
 #include "tasks/subtask.hpp"         // IWYU pragma: export
 #include "tasks/task.hpp"            // IWYU pragma: export
+#include "tasks/window_table.hpp"    // IWYU pragma: export
 #include "tasks/task_system.hpp"     // IWYU pragma: export
 #include "tasks/weight.hpp"          // IWYU pragma: export
 #include "tasks/windows.hpp"         // IWYU pragma: export

@@ -33,7 +33,7 @@ SlotSchedule schedule_sfq_indexed(const TaskSystem& sys,
   for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
     const Task& task = sys.task(k);
     if (task.num_subtasks() > 0) {
-      push_arrival(SubtaskRef{k, 0}, task.subtask(0).eligible);
+      push_arrival(SubtaskRef{k, 0}, task.eligible_at(0));
     }
   }
 
@@ -53,7 +53,7 @@ SlotSchedule schedule_sfq_indexed(const TaskSystem& sys,
         // The successor becomes available at the later of its eligibility
         // time and the slot after its predecessor's quantum.
         push_arrival(SubtaskRef{ref.task, next},
-                     std::max<std::int64_t>(task.subtask(next).eligible,
+                     std::max<std::int64_t>(task.eligible_at(next),
                                             t + 1));
       }
     }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "tasks/window_table.hpp"
+
 namespace pfair {
 
 namespace {
@@ -30,16 +32,39 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
     return;
   }
 
-  // Pass 1: field ranges.
+  // Pass 1: field ranges.  Flyweight tasks are scanned through their
+  // window table in O(min(count, e)): deadlines are strictly increasing,
+  // so min/max come from the first/last subtask, and the b-gated group
+  // deadline is maximal somewhere in the last period (D is nondecreasing
+  // and b periodic).  Materialized tasks keep the per-subtask scan.
   std::int64_t min_d = std::numeric_limits<std::int64_t>::max();
   std::int64_t max_d = std::numeric_limits<std::int64_t>::min();
   std::int64_t max_gd = 0;
   for (std::int64_t k = 0; k < n; ++k) {
-    for (const Subtask& s : sys.task(k).subtasks()) {
-      min_d = std::min(min_d, s.deadline);
-      max_d = std::max(max_d, s.deadline);
-      if (s.group_deadline < 0) return;  // outside the packable domain
-      if (s.bbit) max_gd = std::max(max_gd, s.group_deadline);
+    const Task& task = sys.task(k);
+    const std::int64_t cnt = task.num_subtasks();
+    if (cnt == 0) continue;
+    if (task.flyweight()) {
+      min_d = std::min(min_d, task.subtask_at(0).deadline);
+      max_d = std::max(max_d, task.subtask_at(cnt - 1).deadline);
+      if (task.window_table()->heavy()) {
+        const std::int64_t first = std::max<std::int64_t>(
+            1, cnt - task.window_table()->e() + 1);
+        for (std::int64_t i = first; i <= cnt; ++i) {
+          if (task.window_table()->bbit(i)) {
+            max_gd = std::max(
+                max_gd, task.phase() + task.window_table()->group_deadline(i));
+          }
+        }
+      }
+    } else {
+      for (std::int64_t s = 0; s < cnt; ++s) {
+        const Subtask sub = task.subtask_at(s);
+        min_d = std::min(min_d, sub.deadline);
+        max_d = std::max(max_d, sub.deadline);
+        if (sub.group_deadline < 0) return;  // outside the packable domain
+        if (sub.bbit) max_gd = std::max(max_gd, sub.group_deadline);
+      }
     }
   }
 
@@ -84,22 +109,20 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
   for (std::int64_t k = 0; k < n; ++k) {
     std::uint64_t prev = 0;
     const Task& task = sys.task(k);
-    for (std::int64_t s = 0; s < task.num_subtasks(); ++s, ++flat) {
-      const Subtask& sub = task.subtask(s);
-      std::uint64_t key = static_cast<std::uint64_t>(sub.deadline - min_d);
+    const auto pack = [&](std::int64_t s, std::int64_t deadline, bool bbit,
+                          std::int64_t gd) {
+      std::uint64_t key = static_cast<std::uint64_t>(deadline - min_d);
       if (has_tiebreak_fields) {
         // b = 1 beats b = 0; rules after the b-bit are consulted only
         // between two b = 1 subtasks, so they canonicalize to 0 at
         // b = 0 (equal keys exactly where compare() ties).
-        key = (key << 1) | (sub.bbit ? 0u : 1u);
+        key = (key << 1) | (bbit ? 0u : 1u);
         key = (key << bits_gd) |
-              (sub.bbit ? static_cast<std::uint64_t>(max_gd -
-                                                     sub.group_deadline)
-                        : 0u);
+              (bbit ? static_cast<std::uint64_t>(max_gd - gd) : 0u);
         if (policy_ == Policy::kPd) {
           key = (key << bits_w)
-                    | (sub.bbit ? weight_rank[static_cast<std::size_t>(k)]
-                                : 0u);
+                    | (bbit ? weight_rank[static_cast<std::size_t>(k)]
+                            : 0u);
         }
       }
       key = (key << bits_t) | static_cast<std::uint64_t>(k);
@@ -108,7 +131,28 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
       // violation would make two live heap entries indistinguishable.
       if (s > 0 && key <= prev) distinct = false;
       prev = key;
-      keys_[flat] = key;
+      keys_[flat++] = key;
+    };
+    if (const WindowTable* wt = task.window_table()) {
+      // Walk the period directly: the table entry plus a running period
+      // shift — no per-subtask division or Subtask synthesis.
+      const std::int64_t e = wt->e();
+      const bool heavy = wt->heavy();
+      std::int64_t shift = task.phase();
+      std::int64_t rem = 0;
+      for (std::int64_t s = 0; s < task.num_subtasks(); ++s) {
+        pack(s, shift + wt->deadline_at(rem), wt->bbit_at(rem),
+             heavy ? shift + wt->group_deadline_at(rem) : 0);
+        if (++rem == e) {
+          rem = 0;
+          shift += wt->p();
+        }
+      }
+    } else {
+      for (std::int64_t s = 0; s < task.num_subtasks(); ++s) {
+        const Subtask sub = task.subtask_at(s);
+        pack(s, sub.deadline, sub.bbit, sub.group_deadline);
+      }
     }
   }
   packable_ = distinct;

@@ -19,7 +19,7 @@ SfqSimulator::SfqSimulator(const TaskSystem& sys, Policy policy)
   for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
     const Task& task = sys.task(k);
     if (task.num_subtasks() > 0) {
-      mark_available(k, std::max<std::int64_t>(task.subtask(0).eligible, 0));
+      mark_available(k, std::max<std::int64_t>(task.eligible_at(0), 0));
     }
   }
 }
@@ -63,7 +63,7 @@ void SfqSimulator::commit_placement(const SubtaskRef& ref) {
     // time and the slot after its predecessor's quantum.
     mark_available(ref.task,
                    std::max<std::int64_t>(
-                       task.subtask(head_[k]).eligible, now_ + 1));
+                       task.eligible_at(head_[k]), now_ + 1));
   }
 }
 

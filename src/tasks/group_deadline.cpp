@@ -1,30 +1,17 @@
 #include "tasks/group_deadline.hpp"
 
-#include "tasks/windows.hpp"
+#include "tasks/window_table.hpp"
 
 namespace pfair {
 
 std::int64_t group_deadline(const Weight& w, std::int64_t i) {
   PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
-  if (w.light()) return 0;
-  if (w.unit()) {
-    // wt = 1: every window is a single slot, b = 0 everywhere; the cascade
-    // is the window itself.
-    return pseudo_deadline(w, i);
-  }
-  // Scan the cascade.  Within any window of e consecutive indices the
-  // pattern of (b-bit, window length) repeats with period e (both depend
-  // only on i*p mod e), and a heavy non-unit task has at least one index
-  // per period with b = 0 or a following length-3 window, so the scan ends
-  // within i + e steps; we assert a generous bound.
-  const std::int64_t limit = i + 2 * w.e + 2;
-  for (std::int64_t j = i; j <= limit; ++j) {
-    if (!b_bit(w, j)) return pseudo_deadline(w, j);
-    if (window_length(w, j + 1) >= 3) return pseudo_deadline(w, j);
-  }
-  PFAIR_ASSERT_MSG(false, "group deadline cascade did not terminate for wt="
-                              << w.str() << " i=" << i);
-  return 0;  // unreachable
+  // One table lookup: the cascade recurrence is solved once per distinct
+  // rate by WindowTable's O(e) backward pass, then every index is O(1).
+  // Repeated queries for one weight (materializing an IS/GIS task, the
+  // PD2 comparators) hit the shared cache instead of rescanning the
+  // cascade per index (previously O(e) per call, O(e^2) per period).
+  return WindowTableCache::global().get(w)->group_deadline(i);
 }
 
 }  // namespace pfair

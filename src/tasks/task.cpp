@@ -54,6 +54,51 @@ Task::Task(std::string name, Weight w, TaskKind kind,
   validate();
 }
 
+Task::Task(std::string name, Weight w, TaskKind kind, std::int64_t phase,
+           std::int64_t count, std::shared_ptr<const WindowTable> table,
+           bool early_release)
+    : name_(std::move(name)),
+      weight_(w),
+      kind_(kind),
+      table_(std::move(table)),
+      phase_(phase),
+      count_(count),
+      early_release_(early_release) {
+  PFAIR_ASSERT(table_ != nullptr && count_ >= 0 && phase_ >= 0);
+}
+
+Subtask Task::synthesize(std::int64_t seq) const {
+  const WindowTable& t = *table_;
+  const std::int64_t e = t.e();
+  const std::int64_t q = seq / e;
+  const std::int64_t rem = seq % e;  // subtask index q*e + rem + 1
+  const std::int64_t shift = phase_ + q * t.p();
+  Subtask s;
+  s.index = seq + 1;
+  s.theta = phase_;
+  s.release = shift + t.release_at(rem);
+  s.deadline = shift + t.deadline_at(rem);
+  s.bbit = t.bbit_at(rem);
+  s.group_deadline = t.heavy() ? shift + t.group_deadline_at(rem) : 0;
+  // Early release: every subtask of job j (delimited by the *raw* (e, p)
+  // pair) is eligible at the job's release theta + (j-1)p.
+  s.eligible = early_release_
+                   ? phase_ + (seq / weight_.e) * weight_.p
+                   : s.release;
+  return s;
+}
+
+std::int64_t Task::eligible_at(std::int64_t seq) const {
+  PFAIR_REQUIRE(seq >= 0 && seq < num_subtasks(),
+                "subtask seq " << seq << " out of range for task " << name_);
+  if (table_ == nullptr) {
+    return subtasks_[static_cast<std::size_t>(seq)].eligible;
+  }
+  if (early_release_) return phase_ + (seq / weight_.e) * weight_.p;
+  const WindowTable& t = *table_;
+  return phase_ + (seq / t.e()) * t.p() + t.release_at(seq % t.e());
+}
+
 void Task::validate() const {
   const Subtask* prev = nullptr;
   for (const Subtask& s : subtasks_) {
@@ -85,12 +130,25 @@ void Task::validate() const {
   }
 }
 
-Task Task::periodic(std::string name, Weight w, std::int64_t horizon) {
-  return periodic_phased(std::move(name), w, 0, horizon);
+Task Task::periodic(std::string name, Weight w, std::int64_t horizon,
+                    WindowTableCache* cache) {
+  return periodic_phased(std::move(name), w, 0, horizon, cache);
 }
 
 Task Task::periodic_phased(std::string name, Weight w, std::int64_t phase,
-                           std::int64_t horizon) {
+                           std::int64_t horizon, WindowTableCache* cache) {
+  PFAIR_REQUIRE(phase >= 0, "phase must be >= 0");
+  PFAIR_REQUIRE(horizon >= phase, "horizon must cover the phase");
+  const std::int64_t n = subtasks_before(w, horizon - phase);
+  auto table =
+      (cache != nullptr ? *cache : WindowTableCache::global()).get(w);
+  return Task(std::move(name), w,
+              phase == 0 ? TaskKind::kPeriodic : TaskKind::kSporadic, phase,
+              n, std::move(table), /*early_release=*/false);
+}
+
+Task Task::periodic_phased_eager(std::string name, Weight w,
+                                 std::int64_t phase, std::int64_t horizon) {
   PFAIR_REQUIRE(phase >= 0, "phase must be >= 0");
   PFAIR_REQUIRE(horizon >= phase, "horizon must cover the phase");
   const std::int64_t n = subtasks_before(w, horizon - phase);
@@ -130,6 +188,10 @@ Task Task::gis(std::string name, Weight w,
 }
 
 Task Task::with_early_release() const {
+  if (table_ != nullptr) {
+    return Task(name_, weight_, kind_, phase_, count_, table_,
+                /*early_release=*/true);
+  }
   std::vector<Subtask> subs = subtasks_;
   for (Subtask& s : subs) {
     // Job number j of subtask index i: j = ceil(i / e).
@@ -142,6 +204,12 @@ Task Task::with_early_release() const {
 }
 
 std::int64_t Task::max_deadline() const {
+  const std::int64_t n = num_subtasks();
+  if (n == 0) return 0;
+  if (table_ != nullptr) {
+    // Deadlines are strictly increasing in the index (Eq. (2)).
+    return synthesize(n - 1).deadline;
+  }
   std::int64_t m = 0;
   for (const Subtask& s : subtasks_) m = std::max(m, s.deadline);
   return m;

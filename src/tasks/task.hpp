@@ -1,9 +1,15 @@
 // Recurrent tasks: periodic, sporadic, intra-sporadic (IS) and generalized
 // intra-sporadic (GIS) — Sec. 2 of the paper.
 //
-// A Task owns its weight plus the *materialized* finite sequence of
-// subtasks to be scheduled in an experiment.  Builders enforce the model
-// constraints by construction and by validation:
+// A Task owns its weight plus the finite sequence of subtasks to be
+// scheduled in an experiment.  Periodic/sporadic tasks are *flyweights*:
+// they store only (weight, phase, count, shared window table) and
+// synthesize Subtask values on demand in O(1) — construction is
+// O(distinct weights) across a task system instead of O(horizon * util)
+// (see tasks/window_table.hpp).  IS/GIS tasks, whose per-subtask offsets
+// and eligibility times are irregular, keep a materialized vector behind
+// the same accessors.  Builders enforce the model constraints by
+// construction and by validation:
 //   * Eq. (5): offsets nondecreasing in the subtask index;
 //   * Eq. (6): eligibility times e(T_i) <= r(T_i), nondecreasing;
 //   * GIS release rule: r(T_k) - r(T_i) >= floor((k-1)/wt) - floor((i-1)/wt)
@@ -11,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "tasks/subtask.hpp"
 #include "tasks/weight.hpp"
+#include "tasks/window_table.hpp"
 
 namespace pfair {
 
@@ -25,7 +33,8 @@ enum class TaskKind { kPeriodic, kSporadic, kIntraSporadic, kGeneralizedIS };
 
 [[nodiscard]] const char* to_string(TaskKind k);
 
-/// One recurrent task and its materialized subtask sequence.
+/// One recurrent task and its subtask sequence (flyweight or
+/// materialized; see the header comment).
 class Task {
  public:
   /// Specification of one subtask for the GIS builder.
@@ -36,16 +45,28 @@ class Task {
   };
 
   /// A synchronous periodic task: subtasks 1..n released as early as
-  /// possible, where n covers releases in [0, horizon).
+  /// possible, where n covers releases in [0, horizon).  O(1) beyond the
+  /// (cached) per-weight window table; `cache` defaults to the
+  /// process-wide WindowTableCache.
   [[nodiscard]] static Task periodic(std::string name, Weight w,
-                                     std::int64_t horizon);
+                                     std::int64_t horizon,
+                                     WindowTableCache* cache = nullptr);
 
   /// A periodic task whose first subtask is released at `phase` (all
   /// windows shifted right by `phase`); models asynchronous/sporadic
   /// arrival of the whole task.
   [[nodiscard]] static Task periodic_phased(std::string name, Weight w,
                                             std::int64_t phase,
-                                            std::int64_t horizon);
+                                            std::int64_t horizon,
+                                            WindowTableCache* cache = nullptr);
+
+  /// The pre-flyweight construction path: identical subtask sequence to
+  /// `periodic_phased`, but eagerly materialized and re-validated.
+  /// Retained as the equivalence oracle for tests and construction
+  /// benchmarks — not for production use.
+  [[nodiscard]] static Task periodic_phased_eager(std::string name, Weight w,
+                                                  std::int64_t phase,
+                                                  std::int64_t horizon);
 
   /// An IS task: subtasks 1..n with explicit per-subtask offsets
   /// (validated nondecreasing).  `offsets` may be shorter than the number
@@ -60,7 +81,9 @@ class Task {
 
   /// Early-release transform (Anderson & Srinivasan [1]): every subtask of
   /// a job becomes eligible at the job's release, i.e. e(T_i) = theta(T_i)
-  /// + (j-1)p for T_i in job j (indices (j-1)e+1 .. je).  Returns a copy.
+  /// + (j-1)p for T_i in job j (indices (j-1)e+1 .. je).  Returns a copy
+  /// (for flyweight tasks, a flag flip — jobs are delimited by the *raw*
+  /// (e, p) pair, so eligibility stays O(1) arithmetic).
   [[nodiscard]] Task with_early_release() const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -68,31 +91,78 @@ class Task {
   [[nodiscard]] TaskKind kind() const { return kind_; }
 
   [[nodiscard]] std::int64_t num_subtasks() const {
-    return static_cast<std::int64_t>(subtasks_.size());
-  }
-  [[nodiscard]] const Subtask& subtask(std::int64_t seq) const {
-    PFAIR_REQUIRE(seq >= 0 && seq < num_subtasks(),
-                  "subtask seq " << seq << " out of range for task " << name_);
-    return subtasks_[static_cast<std::size_t>(seq)];
-  }
-  [[nodiscard]] const std::vector<Subtask>& subtasks() const {
-    return subtasks_;
+    return table_ != nullptr
+               ? count_
+               : static_cast<std::int64_t>(subtasks_.size());
   }
 
-  /// Latest deadline over materialized subtasks (0 if none).
+  /// The subtask at position `seq` in the dense sequence.  O(1): a table
+  /// lookup plus a period offset for flyweight tasks, a vector read for
+  /// materialized ones.  Returns by value; the synthesized Subtask is a
+  /// few words and binds to `const Subtask&` at call sites.
+  [[nodiscard]] Subtask subtask_at(std::int64_t seq) const {
+    PFAIR_REQUIRE(seq >= 0 && seq < num_subtasks(),
+                  "subtask seq " << seq << " out of range for task " << name_);
+    return table_ != nullptr ? synthesize(seq)
+                             : subtasks_[static_cast<std::size_t>(seq)];
+  }
+  /// Alias of `subtask_at` (the historical accessor name).
+  [[nodiscard]] Subtask subtask(std::int64_t seq) const {
+    return subtask_at(seq);
+  }
+
+  /// e(T) of the subtask at `seq` without synthesizing the full Subtask —
+  /// the only field the simulators' uninstrumented hot paths read.
+  [[nodiscard]] std::int64_t eligible_at(std::int64_t seq) const;
+
+  /// True iff subtasks are synthesized from a shared window table.
+  [[nodiscard]] bool flyweight() const { return table_ != nullptr; }
+  /// The shared window table (null for materialized tasks).
+  [[nodiscard]] const WindowTable* window_table() const {
+    return table_.get();
+  }
+  /// Offset of every subtask of a flyweight task (theta; 0 if
+  /// materialized — those carry per-subtask offsets instead).
+  [[nodiscard]] std::int64_t phase() const { return phase_; }
+  /// True iff the early-release transform is applied (flyweight path).
+  [[nodiscard]] bool early_release() const { return early_release_; }
+
+  /// Heap bytes held for subtask storage: the materialized vector, or the
+  /// task's share of nothing at all (flyweight tasks hold one shared_ptr;
+  /// count shared tables separately via window_table()).
+  [[nodiscard]] std::size_t subtask_memory_bytes() const {
+    return subtasks_.capacity() * sizeof(Subtask);
+  }
+
+  /// Latest deadline over the subtask sequence (0 if none).
   [[nodiscard]] std::int64_t max_deadline() const;
 
  private:
   Task(std::string name, Weight w, TaskKind kind,
        std::vector<Subtask> subtasks);
+  Task(std::string name, Weight w, TaskKind kind, std::int64_t phase,
+       std::int64_t count, std::shared_ptr<const WindowTable> table,
+       bool early_release);
+
+  /// Synthesizes subtask `seq` from the window table (flyweight path).
+  [[nodiscard]] Subtask synthesize(std::int64_t seq) const;
 
   /// Enforces Eqs. (5), (6) and the GIS release rule; throws on violation.
+  /// Materialized path only — flyweight sequences satisfy all three by
+  /// construction (releases follow Eq. (2), which is monotone).
   void validate() const;
 
   std::string name_;
   Weight weight_;
   TaskKind kind_;
-  std::vector<Subtask> subtasks_;
+  std::vector<Subtask> subtasks_;  // materialized path; empty if flyweight
+
+  // Flyweight path (periodic/sporadic): subtask seq >= 0 has index
+  // seq + 1, offset phase_, and window parameters table ⊕ period shift.
+  std::shared_ptr<const WindowTable> table_;
+  std::int64_t phase_ = 0;
+  std::int64_t count_ = 0;
+  bool early_release_ = false;
 };
 
 }  // namespace pfair

@@ -1,5 +1,6 @@
 #include "tasks/task_system.hpp"
 
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -39,6 +40,17 @@ TaskSystem TaskSystem::with_early_release() const {
   er.reserve(tasks_.size());
   for (const Task& t : tasks_) er.push_back(t.with_early_release());
   return TaskSystem(std::move(er), processors_);
+}
+
+std::size_t TaskSystem::subtask_memory_bytes() const {
+  std::size_t bytes = 0;
+  std::set<const WindowTable*> tables;
+  for (const Task& t : tasks_) {
+    bytes += t.subtask_memory_bytes();
+    if (const WindowTable* w = t.window_table()) tables.insert(w);
+  }
+  for (const WindowTable* w : tables) bytes += w->memory_bytes();
+  return bytes;
 }
 
 std::string TaskSystem::summary() const {

@@ -27,8 +27,11 @@ class TaskSystem {
   }
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
 
-  [[nodiscard]] const Subtask& subtask(const SubtaskRef& ref) const {
-    return task(ref.task).subtask(ref.seq);
+  /// The referenced subtask, by value: flyweight tasks synthesize it in
+  /// O(1) (see tasks/window_table.hpp); binds to `const Subtask&` at call
+  /// sites as before.
+  [[nodiscard]] Subtask subtask(const SubtaskRef& ref) const {
+    return task(ref.task).subtask_at(ref.seq);
   }
 
   /// Exact sum of task weights.
@@ -62,6 +65,11 @@ class TaskSystem {
 
   /// Applies the early-release transform to every task.
   [[nodiscard]] TaskSystem with_early_release() const;
+
+  /// Heap bytes held for subtask storage across the system: materialized
+  /// vectors plus each *distinct* window table once (tables are shared
+  /// flyweights).  For memory accounting in benches and soak guards.
+  [[nodiscard]] std::size_t subtask_memory_bytes() const;
 
   /// One-line summary for experiment logs.
   [[nodiscard]] std::string summary() const;

@@ -1,15 +1,20 @@
 #include "tasks/windows.hpp"
 
+#include "tasks/window_table.hpp"
+
 namespace pfair {
+
+// Thin wrappers: the arithmetic lives in winarith (tasks/window_table.hpp),
+// the one implementation of Eqs. (2)-(4).
 
 std::int64_t pseudo_release(const Weight& w, std::int64_t i) {
   PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
-  return floor_div_mul(i - 1, w.p, w.e);
+  return winarith::release(w.e, w.p, i);
 }
 
 std::int64_t pseudo_deadline(const Weight& w, std::int64_t i) {
   PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
-  return ceil_div_mul(i, w.p, w.e);
+  return winarith::deadline(w.e, w.p, i);
 }
 
 std::int64_t window_length(const Weight& w, std::int64_t i) {
@@ -18,10 +23,7 @@ std::int64_t window_length(const Weight& w, std::int64_t i) {
 
 bool b_bit(const Weight& w, std::int64_t i) {
   PFAIR_REQUIRE(i >= 1, "subtask index must be >= 1, got " << i);
-  // d(T_i) > r(T_{i+1})  <=>  ceil(i*p/e) > floor(i*p/e)  <=>  e does not
-  // divide i*p.
-  const __int128 prod = static_cast<__int128>(i) * w.p;
-  return prod % w.e != 0;
+  return winarith::bbit(w.e, w.p, i);
 }
 
 std::int64_t subtasks_before(const Weight& w, std::int64_t horizon) {
@@ -29,8 +31,10 @@ std::int64_t subtasks_before(const Weight& w, std::int64_t horizon) {
   if (horizon == 0) return 0;
   // r(T_i) < horizon  <=>  floor((i-1)p/e) < horizon  <=>  (i-1)p <=
   // horizon*e - 1, so the largest such i is floor((horizon*e - 1)/p) + 1.
+  // horizon*e overflows int64 for horizons past ~2^63/e, so the remainder
+  // test runs in 128 bits like the floor_div_mul it pairs with.
   return floor_div_mul(horizon, w.e, w.p) +
-         ((horizon * w.e) % w.p != 0 ? 1 : 0);
+         ((static_cast<__int128>(horizon) * w.e) % w.p != 0 ? 1 : 0);
 }
 
 }  // namespace pfair

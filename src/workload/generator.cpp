@@ -66,8 +66,8 @@ TaskSystem generate_periodic(const GeneratorConfig& cfg) {
   // weight is < 1, so while remaining > 1 any draw is acceptable.
   while (remaining > Rational(1)) {
     const Weight w = draw_weight(rng, cfg.weights);
-    tasks.push_back(
-        Task::periodic("T" + std::to_string(id++), w, cfg.horizon));
+    tasks.push_back(Task::periodic("T" + std::to_string(id++), w,
+                                   cfg.horizon, cfg.cache));
     remaining -= Rational(w.e, w.p);
   }
   // Exact filler: remaining = a/b with b | kBase (all drawn periods divide
@@ -79,7 +79,8 @@ TaskSystem generate_periodic(const GeneratorConfig& cfg) {
     const std::int64_t e = remaining.num() * (kBase / remaining.den());
     PFAIR_ASSERT(e >= 1 && e <= kBase);
     tasks.push_back(Task::periodic("T" + std::to_string(id++),
-                                   Weight(e, kBase), cfg.horizon));
+                                   Weight(e, kBase), cfg.horizon,
+                                   cfg.cache));
   }
   TaskSystem sys(std::move(tasks), cfg.processors);
   PFAIR_ASSERT(sys.total_utilization() == cfg.target_util);

@@ -34,6 +34,9 @@ struct GeneratorConfig {
   /// Subtasks are materialized for releases in [0, horizon).
   std::int64_t horizon = 48;
   std::uint64_t seed = 1;
+  /// Window-table cache shared by the generated tasks; nullptr uses the
+  /// process-wide WindowTableCache::global().
+  WindowTableCache* cache = nullptr;
 };
 
 /// Generates a synchronous periodic system whose total utilization equals

@@ -179,6 +179,62 @@ TEST(AbEquivalence, DvqMatchesNaiveReferenceAcrossSeedsAndPolicies) {
   EXPECT_EQ(failures.count.load(), 0) << failures.first;
 }
 
+// Flyweight vs eager construction must be invisible to every scheduler:
+// the same weights/phases/horizon, one system synthesizing subtasks from
+// shared window tables and one materializing them the pre-flyweight way,
+// must produce bit-identical SFQ and DVQ schedules under all policies.
+TEST(AbEquivalence, FlyweightConstructionMatchesEagerSchedules) {
+  for (int seed = 0; seed < 8; ++seed) {
+    const int m = 2 + seed % 3;
+    std::vector<Weight> weights;
+    {
+      Rng rng(static_cast<std::uint64_t>(7000 + seed));
+      Rational util;
+      while (util < Rational(m)) {
+        const std::int64_t p = 4 + rng.uniform(0, 11);
+        const std::int64_t e = rng.uniform(1, p);
+        if (util + Rational(e, p) > Rational(m)) break;
+        weights.push_back(Weight(e, p));
+        util += Rational(e, p);
+      }
+    }
+    const std::int64_t horizon = 48;
+    std::vector<Task> fly;
+    std::vector<Task> eager;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      const std::int64_t phase = static_cast<std::int64_t>(k % 3);
+      const std::string name = "T" + std::to_string(k);
+      fly.push_back(
+          Task::periodic_phased(name, weights[k], phase, horizon));
+      eager.push_back(
+          Task::periodic_phased_eager(name, weights[k], phase, horizon));
+    }
+    const TaskSystem fly_sys(std::move(fly), m);
+    const TaskSystem eager_sys(std::move(eager), m);
+
+    for (const Policy policy : kAllPolicies) {
+      const std::string tag =
+          "seed " + std::to_string(seed) + " " + to_string(policy);
+      SfqOptions sopts;
+      sopts.policy = policy;
+      std::string why;
+      ASSERT_TRUE(same_sfq(schedule_sfq(fly_sys, sopts),
+                           schedule_sfq(eager_sys, sopts), fly_sys, &why))
+          << tag << ": " << why;
+
+      const BernoulliYield yields(
+          static_cast<std::uint64_t>(seed) * 131 + 5, 1, 3, kTick,
+          kQuantum - kTick);
+      DvqOptions dopts;
+      dopts.policy = policy;
+      ASSERT_TRUE(same_dvq(schedule_dvq(fly_sys, yields, dopts),
+                           schedule_dvq(eager_sys, yields, dopts), fly_sys,
+                           &why))
+          << tag << ": " << why;
+    }
+  }
+}
+
 // Toggling the probe mid-run switches between the instrumented scan and
 // the incremental heap; the schedule must not notice.  This exercises
 // the stale-entry skip in the ready queue (entries consumed behind its

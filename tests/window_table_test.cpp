@@ -1,0 +1,235 @@
+// Flyweight window tables (tasks/window_table.hpp): equivalence with the
+// scalar formulas and the pre-flyweight eager construction, cache sharing
+// and thread safety, and the subtasks_before overflow regression.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pfair/pfair.hpp"
+
+namespace {
+
+using namespace pfair;
+
+/// The pre-table forward cascade scan (group_deadline.cpp as it was before
+/// the backward pass): smallest j >= i with b(T_j) = 0 or |w(T_{j+1})| = 3.
+std::int64_t forward_scan_group_deadline(const Weight& w, std::int64_t i) {
+  if (w.light()) return 0;
+  for (std::int64_t j = i;; ++j) {
+    if (!b_bit(w, j) || window_length(w, j + 1) >= 3) {
+      return pseudo_deadline(w, j);
+    }
+  }
+}
+
+/// Every reducible/irreducible weight with period <= `max_p`, unit
+/// weights included (135 weights for max_p = 16).
+std::vector<Weight> weight_universe(std::int64_t max_p) {
+  std::vector<Weight> ws;
+  for (std::int64_t p = 2; p <= max_p; ++p) {
+    for (std::int64_t e = 1; e <= p; ++e) ws.push_back(Weight(e, p));
+  }
+  return ws;
+}
+
+void expect_same_subtasks(const Task& fly, const Task& eager) {
+  ASSERT_EQ(fly.num_subtasks(), eager.num_subtasks())
+      << fly.weight().str();
+  for (std::int64_t s = 0; s < fly.num_subtasks(); ++s) {
+    const Subtask a = fly.subtask_at(s);
+    const Subtask b = eager.subtask_at(s);
+    ASSERT_EQ(a.index, b.index) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.theta, b.theta) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.release, b.release) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.deadline, b.deadline) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.eligible, b.eligible) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.bbit, b.bbit) << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(a.group_deadline, b.group_deadline)
+        << fly.weight().str() << " seq " << s;
+    ASSERT_EQ(fly.eligible_at(s), a.eligible)
+        << fly.weight().str() << " seq " << s;
+  }
+}
+
+TEST(WindowTable, MatchesScalarFormulas) {
+  for (const Weight& w : weight_universe(12)) {
+    const auto t = WindowTable::build(w);
+    // Three periods of indices exercises the q*p shift.
+    for (std::int64_t i = 1; i <= 3 * t->e(); ++i) {
+      ASSERT_EQ(t->release(i), pseudo_release(w, i)) << w.str() << " i=" << i;
+      ASSERT_EQ(t->deadline(i), pseudo_deadline(w, i))
+          << w.str() << " i=" << i;
+      ASSERT_EQ(t->bbit(i), b_bit(w, i)) << w.str() << " i=" << i;
+      ASSERT_EQ(t->group_deadline(i), forward_scan_group_deadline(w, i))
+          << w.str() << " i=" << i;
+    }
+  }
+}
+
+TEST(WindowTable, BackwardPassMatchesForwardScanDeepIntoPeriod) {
+  // Heavy weights with long periods stress the cascade chain.
+  for (const Weight& w :
+       {Weight(59, 60), Weight(239, 240), Weight(121, 240), Weight(7, 8)}) {
+    for (std::int64_t i = 1; i <= 2 * w.e; ++i) {
+      ASSERT_EQ(group_deadline(w, i), forward_scan_group_deadline(w, i))
+          << w.str() << " i=" << i;
+    }
+  }
+}
+
+TEST(WindowTable, EquivalentRatesShareOneTable) {
+  WindowTableCache cache;
+  const auto a = cache.get(Weight(1, 2));
+  const auto b = cache.get(Weight(2, 4));
+  const auto c = cache.get(Weight(60, 120));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a->e(), 1);
+  EXPECT_EQ(a->p(), 2);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(a->e(), 1);  // cleared cache does not invalidate live tables
+}
+
+// The core property: for every weight with p <= 16 (120 weights, raw and
+// reducible forms) and several phases, the flyweight task synthesizes a
+// subtask sequence bit-identical to the pre-flyweight eager construction —
+// including under the early-release transform, whose job boundaries follow
+// the *raw* (e, p) pair.
+TEST(Flyweight, BitIdenticalToEagerConstruction) {
+  WindowTableCache cache;
+  int combos = 0;
+  for (const Weight& w : weight_universe(16)) {
+    for (const std::int64_t phase : {std::int64_t{0}, std::int64_t{5}}) {
+      const std::int64_t horizon = phase + 6 * w.p;
+      const Task fly =
+          Task::periodic_phased("f", w, phase, horizon, &cache);
+      const Task eager = Task::periodic_phased_eager("f", w, phase, horizon);
+      ASSERT_TRUE(fly.flyweight());
+      ASSERT_FALSE(eager.flyweight());
+      ASSERT_EQ(fly.kind(), eager.kind());
+      expect_same_subtasks(fly, eager);
+      expect_same_subtasks(fly.with_early_release(),
+                           eager.with_early_release());
+      ASSERT_EQ(fly.max_deadline(), eager.max_deadline()) << w.str();
+      ++combos;
+    }
+  }
+  EXPECT_EQ(combos, 270);
+  // One table per distinct *rate*, not per distinct (e, p) pair.
+  EXPECT_LT(cache.size(), 135u);
+}
+
+TEST(Flyweight, ZeroSubtaskAndUnitWeightEdges) {
+  const Task none = Task::periodic("z", Weight(1, 8), 0);
+  EXPECT_EQ(none.num_subtasks(), 0);
+  EXPECT_EQ(none.max_deadline(), 0);
+
+  const Task unit = Task::periodic("u", Weight(1, 1), 4);
+  ASSERT_EQ(unit.num_subtasks(), 4);
+  for (std::int64_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(unit.subtask_at(s).release, s);
+    EXPECT_EQ(unit.subtask_at(s).deadline, s + 1);
+    EXPECT_FALSE(unit.subtask_at(s).bbit);
+    EXPECT_EQ(unit.subtask_at(s).group_deadline, s + 1);
+  }
+}
+
+TEST(Flyweight, RandomAccessAtHugeSequenceNumbers) {
+  // O(1) synthesis far beyond any materializable horizon.
+  const Weight w(3, 7);
+  const Task t = Task::periodic("h", w, std::int64_t{1} << 40);
+  const std::int64_t n = t.num_subtasks();
+  EXPECT_GT(n, (std::int64_t{3} << 40) / 7);  // ~ (2^40)*3/7 subtasks
+  const Subtask last = t.subtask_at(n - 1);
+  EXPECT_LT(last.release, std::int64_t{1} << 40);
+  EXPECT_EQ(last.release, pseudo_release(w, last.index));
+  EXPECT_EQ(last.deadline, pseudo_deadline(w, last.index));
+}
+
+// Regression: subtasks_before(w, horizon) computes horizon * e as an
+// intermediate; for horizon ~ 2^40 and e > 2^23 that product overflows
+// int64 unless routed through 128-bit arithmetic.
+TEST(Windows, SubtasksBeforeNoOverflowAtLargeHorizon) {
+  const std::int64_t horizon = std::int64_t{1} << 40;
+  const Weight w(16'777'259, 16'777'289);  // e * horizon ~ 2^64
+  const __int128 prod = static_cast<__int128>(horizon) * w.e;
+  const auto expected =
+      static_cast<std::int64_t>(prod / w.p + (prod % w.p != 0 ? 1 : 0));
+  EXPECT_EQ(subtasks_before(w, horizon), expected);
+  EXPECT_GT(expected, 0);
+
+  // Small-weight sanity at the same horizon.
+  EXPECT_EQ(subtasks_before(Weight(1, 1), horizon), horizon);
+  EXPECT_EQ(subtasks_before(Weight(3, 7), horizon),
+            (horizon * 3 + 6) / 7);
+}
+
+// Many threads hammering one cache over a small weight universe: every
+// get() for the same rate must return the same table, and the cache must
+// end up with exactly one entry per distinct rate.
+TEST(WindowTableCache, ConcurrentGetsShareTables) {
+  WindowTableCache cache;
+  const std::vector<Weight> universe = weight_universe(10);
+  // Canonical pointers, resolved single-threaded afterwards for comparison.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::vector<const WindowTable*>> seen(
+      kThreads, std::vector<const WindowTable*>(universe.size(), nullptr));
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::size_t i = 0; i < universe.size(); ++i) {
+          const auto table = cache.get(universe[i]);
+          if (table == nullptr ||
+              table->e() * universe[i].p != table->p() * universe[i].e) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          if (seen[static_cast<std::size_t>(t)][i] == nullptr) {
+            seen[static_cast<std::size_t>(t)][i] = table.get();
+          } else if (seen[static_cast<std::size_t>(t)][i] != table.get()) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // All threads resolved each weight to the same shared instance.
+  for (int t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][i], seen[0][i]);
+    }
+  }
+  // One entry per distinct rate: Farey(10) has 31 fractions in (0, 1]
+  // with denominator <= 10... but rates here include reducible dupes, so
+  // just bound it by the universe and require sharing happened.
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_LT(cache.size(), universe.size());
+}
+
+TEST(TaskSystem, FlyweightMemoryAccountsSharedTablesOnce) {
+  WindowTableCache cache;
+  std::vector<Task> tasks;
+  for (int k = 0; k < 8; ++k) {
+    tasks.push_back(Task::periodic("T" + std::to_string(k), Weight(3, 4),
+                                   240, &cache));
+  }
+  const TaskSystem sys(std::move(tasks), 2);
+  const std::size_t fly_bytes = sys.subtask_memory_bytes();
+  // All eight tasks share one table; the footprint is one table, not
+  // eight vectors of 180 subtasks.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LT(fly_bytes, 8u * 180u * sizeof(Subtask) / 10u);
+  EXPECT_GT(fly_bytes, 0u);
+}
+
+}  // namespace
