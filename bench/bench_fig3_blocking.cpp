@@ -25,9 +25,7 @@ int run_bench(pfair::bench::BenchContext&) {
   ropts.chars_per_slot = 8;
 
   // (a) With the scripted early yield of Y_2.
-  DvqOptions opts;
-  opts.log_decisions = true;
-  const DvqSchedule with_yield = schedule_dvq(sc.system, *sc.yields, opts);
+  const DvqSchedule with_yield = schedule_dvq(sc.system, *sc.yields);
   std::cout << "(a) Y_2 yields " << delta.to_double()
             << " early — B_3 is predecessor-blocked at t = 2:\n"
             << render_dvq_schedule(sc.system, with_yield, ropts) << "\n";
@@ -42,7 +40,7 @@ int run_bench(pfair::bench::BenchContext&) {
   // (b) Counterfactual: no early yield — the inversion disappears
   // (paper's Fig. 3(b): "B_2 would not be blocked if F_3 does not yield").
   const FullQuantumYield full;
-  const DvqSchedule no_yield = schedule_dvq(sc.system, full, opts);
+  const DvqSchedule no_yield = schedule_dvq(sc.system, full);
   std::cout << "(b) no early yields — no predecessor blocking:\n"
             << render_dvq_schedule(sc.system, no_yield, ropts) << "\n";
   const BlockingReport rb = analyze_blocking(sc.system, no_yield);
@@ -57,7 +55,7 @@ int run_bench(pfair::bench::BenchContext&) {
   // blocked").
   ScriptedYield both = *sc.yields;
   both.set(SubtaskRef{1, 1}, kQuantum - delta);  // B_2
-  const DvqSchedule early_pred = schedule_dvq(sc.system, both, opts);
+  const DvqSchedule early_pred = schedule_dvq(sc.system, both);
   std::cout << "(c) the predecessor yields early too — the inversion "
                "becomes eligibility blocking:\n"
             << render_dvq_schedule(sc.system, early_pred, ropts) << "\n";

@@ -173,6 +173,60 @@ int run_bench(pfair::bench::BenchContext& ctx) {
   std::cout << "horizon " << kHorizon << " slots; fast = incremental "
             << "(calendar/event heaps + packed keys), ref = naive rescan\n";
 
+  // --- Auditor overhead: invariant checking on the production path ---
+  // The auditor's event mask fits in kDecisionTraceEvents, so an
+  // auditor-only run stays on the O(changes) fast path with only the
+  // decision-outcome events emitted.  Required shape: < 2x the
+  // uninstrumented runtime at n = 4096.
+  std::cout << "\n=== auditor overhead (n = 4096) ===\n\n";
+  double audit_sfq_ratio = 0.0, audit_dvq_ratio = 0.0;
+  bool audit_clean = true;
+  {
+    constexpr std::int64_t n = 4096;
+    const TaskSystem sys = make_scaling_system(n);
+    const int reps = 5;
+    SfqOptions opts;
+    opts.horizon_limit = kHorizon + 8;
+    const double sfq_off =
+        best_ms(reps, [&] { (void)schedule_sfq(sys, opts); });
+    const double sfq_on = best_ms(reps, [&] {
+      InvariantAuditor auditor(sys);
+      SfqOptions aopts = opts;
+      aopts.trace = &auditor;
+      (void)schedule_sfq(sys, aopts);
+      audit_clean &= auditor.clean();
+    });
+    const BernoulliYield yields(static_cast<std::uint64_t>(n) + 5, 1, 2,
+                                Time::ticks(kTicksPerSlot / 2),
+                                kQuantum - kTick);
+    DvqOptions dopts;
+    dopts.horizon_limit = kHorizon + 8;
+    const double dvq_off =
+        best_ms(reps, [&] { (void)schedule_dvq(sys, yields, dopts); });
+    const double dvq_on = best_ms(reps, [&] {
+      InvariantAuditor auditor(sys);
+      DvqOptions aopts = dopts;
+      aopts.trace = &auditor;
+      (void)schedule_dvq(sys, yields, aopts);
+      audit_clean &= auditor.clean();
+    });
+    audit_sfq_ratio = sfq_on / std::max(sfq_off, 1e-9);
+    audit_dvq_ratio = dvq_on / std::max(dvq_off, 1e-9);
+    ctx.value("audit.sfq_off_ms", sfq_off);
+    ctx.value("audit.sfq_on_ms", sfq_on);
+    ctx.value("audit.sfq_overhead", audit_sfq_ratio);
+    ctx.value("audit.dvq_off_ms", dvq_off);
+    ctx.value("audit.dvq_on_ms", dvq_on);
+    ctx.value("audit.dvq_overhead", audit_dvq_ratio);
+    TextTable at;
+    at.header({"model", "off (ms)", "audited (ms)", "ratio", "clean"});
+    at.row({"sfq", cell(sfq_off, 2), cell(sfq_on, 2),
+            cell(audit_sfq_ratio, 2), audit_clean ? "yes" : "NO"});
+    at.row({"dvq", cell(dvq_off, 2), cell(dvq_on, 2),
+            cell(audit_dvq_ratio, 2), audit_clean ? "yes" : "NO"});
+    std::cout << at.str() << "\n";
+  }
+
   // --- Construction: flyweight window tables vs eager materialization ---
   // Times the pre-flyweight construction path (every subtask built and
   // validated) against the flyweight one (per task: a count plus a shared
@@ -257,10 +311,12 @@ int run_bench(pfair::bench::BenchContext& ctx) {
   const bool ok = all_identical && construction_identical &&
                   (sfq_speedup_max_n >= 5.0 || dvq_speedup_max_n >= 5.0) &&
                   construct_speedup_max_n >= 5.0 &&
-                  construct_mem_ratio_max_n >= 10.0;
+                  construct_mem_ratio_max_n >= 10.0 && audit_clean &&
+                  audit_sfq_ratio < 2.0 && audit_dvq_ratio < 2.0;
   std::cout << "shape check (bit-identical everywhere, >=5x sched at "
-            << "n=16384, >=5x construction and >=10x memory at n=16384): "
-            << (ok ? "PASS" : "FAIL") << '\n';
+            << "n=16384, >=5x construction and >=10x memory at n=16384, "
+            << "audit clean and < 2x at n=4096): " << (ok ? "PASS" : "FAIL")
+            << '\n';
   return ok ? 0 : 1;
 }
 

@@ -33,12 +33,12 @@ int run_bench(pfair::bench::BenchContext&) {
 
   TextTable t;
   t.header({"M", "class", "sfq max", "dvq max (q)", "pdb max (q)",
-            "pdb benign (q)", "th1 ok", "th2 ok", "th3 ok"});
+            "pdb benign (q)", "th1 ok", "th2 ok", "th3 ok", "audit"});
   bool all_ok = true;
 
   for (const Grid g : grid) {
     pfair::bench::MaxReducer sfq_max, dvq_max, pdb_max, pdbb_max;
-    pfair::bench::CountReducer th1_bad, th2_bad, th3_bad;
+    pfair::bench::CountReducer th1_bad, th2_bad, th3_bad, audit_bad;
     pfair::bench::sweep_seeds(kSeeds, 13, 1, [&](std::uint64_t seed) {
       GeneratorConfig cfg;
       cfg.processors = g.m;
@@ -50,14 +50,25 @@ int run_bench(pfair::bench::BenchContext&) {
       const BernoulliYield yields(seed, 1, 2, Time::ticks(kTicksPerSlot / 2),
                                   kQuantum - kTick);
 
+      // Every production run is audited inline: the theorem columns
+      // check end-state tardiness, the auditor checks the invariants
+      // along the way (windows, occupancy, lag, Theorem 3's allowance).
+      InvariantAuditor sfq_audit(sys);
+      SfqOptions sopts;
+      sopts.trace = &sfq_audit;
       const std::int64_t sfq =
-          measure_tardiness(sys, schedule_sfq(sys)).max_ticks;
+          measure_tardiness(sys, schedule_sfq(sys, sopts)).max_ticks;
       sfq_max.raise(sfq);
+      if (!sfq_audit.clean()) audit_bad.add();
 
-      const DvqSchedule dvq = schedule_dvq(sys, yields);
+      InvariantAuditor dvq_audit(sys);
+      DvqOptions dopts;
+      dopts.trace = &dvq_audit;
+      const DvqSchedule dvq = schedule_dvq(sys, yields, dopts);
       const std::int64_t dvq_t = measure_tardiness(sys, dvq).max_ticks;
       dvq_max.raise(dvq_t);
       if (dvq_t >= kTicksPerSlot) th3_bad.add();  // Theorem 3
+      if (!dvq_audit.clean()) audit_bad.add();
 
       // Theorem 1: against the S_B constructed from this very DVQ run.
       const SbConstruction sbc = build_sb(sys, dvq);
@@ -78,7 +89,7 @@ int run_bench(pfair::bench::BenchContext&) {
     });
 
     const bool ok = th1_bad.zero() && th2_bad.zero() && th3_bad.zero() &&
-                    sfq_max.get() == 0;
+                    sfq_max.get() == 0 && audit_bad.zero();
     all_ok &= ok;
     auto q = [](std::int64_t ticks) {
       return cell(static_cast<double>(ticks) /
@@ -87,12 +98,15 @@ int run_bench(pfair::bench::BenchContext&) {
     t.row({cell(static_cast<std::int64_t>(g.m)), to_string(g.cls),
            q(sfq_max.get()), q(dvq_max.get()), q(pdb_max.get()),
            q(pdbb_max.get()), th1_bad.zero() ? "yes" : "NO",
-           th2_bad.zero() ? "yes" : "NO", th3_bad.zero() ? "yes" : "NO"});
+           th2_bad.zero() ? "yes" : "NO", th3_bad.zero() ? "yes" : "NO",
+           audit_bad.zero() ? "clean" : "FINDINGS"});
   }
   std::cout << t.str() << "\n";
   std::cout << kSeeds << " fully-utilized systems per row; yields: "
-               "Bernoulli(1/2) in [0.5, 1) quanta\n";
-  std::cout << "shape check (all theorem columns hold, SFQ exact): "
+               "Bernoulli(1/2) in [0.5, 1) quanta; every sfq/dvq run "
+               "audited online\n";
+  std::cout << "shape check (all theorem columns hold, SFQ exact, audits "
+               "clean): "
             << (all_ok ? "PASS" : "FAIL") << '\n';
   return all_ok ? 0 : 1;
 }

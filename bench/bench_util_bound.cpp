@@ -37,8 +37,14 @@ int run_bench(pfair::bench::BenchContext&) {
       cfg.seed = seed;
       const TaskSystem sys = generate_periodic(cfg);
 
-      const SlotSchedule pd2 = schedule_sfq(sys);
-      if (pd2.complete() && measure_tardiness(sys, pd2).max_ticks == 0) {
+      // The PD2 run is audited online; a finding disqualifies it like a
+      // miss would.
+      InvariantAuditor auditor(sys);
+      SfqOptions sopts;
+      sopts.trace = &auditor;
+      const SlotSchedule pd2 = schedule_sfq(sys, sopts);
+      if (pd2.complete() && measure_tardiness(sys, pd2).max_ticks == 0 &&
+          auditor.clean()) {
         pd2_ok.add();
       }
       if (run_global_edf(sys).all_met()) gedf_ok.add();

@@ -56,10 +56,7 @@ int main() {
             << tard.total_subtasks << " windows late\n";
 
   // Blocking diagnosis — the phenomena of Sec. 3.1 on live data.
-  DvqOptions lopts;
-  lopts.log_decisions = true;
-  const DvqSchedule logged = schedule_dvq(tracked, yields, lopts);
-  const BlockingReport blocking = analyze_blocking(tracked, logged);
+  const BlockingReport blocking = analyze_blocking(tracked, dvq);
   std::cout << "priority inversions: " << blocking.eligibility_blocked
             << " eligibility-blocked, " << blocking.predecessor_blocked
             << " predecessor-blocked; Property PB holds: " << std::boolalpha

@@ -123,6 +123,7 @@ def guarded(name):
 def check(baseline, fresh, tolerance):
     failures = []
     compared = 0
+    worst = None  # (ratio, "bench/name")
     for bench_name, base_report in baseline["reports"].items():
         fresh_report = fresh.get(bench_name)
         if fresh_report is None:
@@ -147,13 +148,21 @@ def check(baseline, fresh, tolerance):
                 f"{base_ns:12.0f} -> {fresh_ns:12.0f} ns/op "
                 f"({(ratio - 1.0) * 100:+.1f}%)"
             )
+            if worst is None or ratio > worst[0]:
+                worst = (ratio, f"{bench_name}/{name}")
             if ratio > 1.0 + tolerance:
                 failures.append(
-                    f"{bench_name}/{name}: {(ratio - 1.0) * 100:+.1f}% "
+                    f"{bench_name}/{name}: {base_ns:.0f} -> {fresh_ns:.0f} "
+                    f"ns/op, {(ratio - 1.0) * 100:+.1f}% "
                     f"(tolerance {tolerance * 100:.0f}%)"
                 )
     if compared == 0:
         failures.append("no guarded cases compared — baseline empty?")
+    elif worst is not None:
+        print(
+            f"perf_guard: {compared} guarded cases compared; worst delta "
+            f"{(worst[0] - 1.0) * 100:+.1f}% ({worst[1]})"
+        )
     return failures
 
 

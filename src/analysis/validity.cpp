@@ -20,6 +20,8 @@ const char* to_string(Violation::Kind k) {
       return "overloaded-slot";
     case Violation::Kind::kPrecedence:
       return "precedence";
+    case Violation::Kind::kLagBound:
+      return "lag-bound";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ struct Violation {
     kIntraTaskParallel, ///< two subtasks of one task overlap / share a slot
     kOverloadedSlot,    ///< more than M subtasks in a slot / instant
     kPrecedence,        ///< scheduled before predecessor completion
+    kLagBound,          ///< per-task lag left (-1, 1) (online auditor only)
   };
   Kind kind;
   SubtaskRef ref;

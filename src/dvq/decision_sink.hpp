@@ -1,14 +1,20 @@
 // Reconstructs the classic per-instant `DvqDecision` log from the
-// structured trace-event stream, and appends it to a `DvqSchedule`.
+// structured trace-event stream.
 //
-// This is how `DvqOptions::log_decisions` (deprecated) is implemented
-// now: the simulator installs one of these internally, so the legacy
-// decision log and any user-installed TraceSink observe the very same
-// events.  One decision spans the events between two kEventBegin
-// boundaries; it is committed on flush() (end of the simulator step)
-// and only if at least one subtask started — exactly the instants the
-// old ad-hoc logger recorded.
+// This replaced the removed `DvqOptions::log_decisions` flag: install a
+// DvqDecisionSink as the trace sink (or behind a TeeSink) and it
+// rebuilds the same log the old ad-hoc logger recorded.  One decision
+// spans the events between two kEventBegin boundaries; it is committed
+// on flush() (end of the simulator step) and only if at least one
+// subtask started — exactly the instants the old logger kept.
+//
+// Two storage modes: appended into an external `DvqSchedule` (the
+// legacy location, read back via `DvqSchedule::decisions()`), or — with
+// the default constructor — into the sink's own log, read back via
+// `decisions()`.
 #pragma once
+
+#include <vector>
 
 #include "dvq/dvq_schedule.hpp"
 #include "obs/trace.hpp"
@@ -17,14 +23,24 @@ namespace pfair {
 
 class DvqDecisionSink final : public TraceSink {
  public:
-  /// The schedule must outlive the sink.
+  /// Owns its decision log; read it back via decisions().
+  DvqDecisionSink() = default;
+  /// Appends into `sched` (which must outlive the sink) via
+  /// `DvqSchedule::log_decision`.
   explicit DvqDecisionSink(DvqSchedule& sched) : sched_(&sched) {}
 
   void on_event(const TraceEvent& e) override;
   void flush() override;
 
+  /// The decisions committed so far (own-storage mode only; empty when
+  /// bound to an external schedule).
+  [[nodiscard]] const std::vector<DvqDecision>& decisions() const {
+    return own_;
+  }
+
  private:
-  DvqSchedule* sched_;
+  DvqSchedule* sched_ = nullptr;
+  std::vector<DvqDecision> own_;
   DvqDecision cur_;
 };
 

@@ -12,7 +12,7 @@ DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
                          const DvqOptions& opts) {
   const std::int64_t slot_limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
-  DvqSimulator sim(sys, yields, opts.policy, opts.log_decisions);
+  DvqSimulator sim(sys, yields, opts.policy);
   if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
   if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
   sim.run_until(Time::slots(slot_limit));

@@ -22,13 +22,9 @@ class MetricsRegistry;  // obs/metrics.hpp
 
 struct DvqOptions {
   Policy policy = Policy::kPd2;
-  /// DEPRECATED — record per-instant decision logs (needed by the
-  /// blocking analysis; costs memory on big runs).  Kept for one release
-  /// of back-compat (from 2026-08): it is now an alias that installs an
-  /// internal DvqDecisionSink, so existing callers see the identical
-  /// `DvqSchedule::decisions()` log.  New code should install `trace`
-  /// (e.g. a RingBufferSink or a DvqDecisionSink) instead.
-  bool log_decisions = false;
+  // log_decisions was removed 2026-08 after one release of deprecation:
+  // install a DvqDecisionSink (dvq/decision_sink.hpp) as `trace` to get
+  // the identical per-instant decision log.
   /// Hard stop, in slots (0 = automatic, as for the SFQ scheduler).
   std::int64_t horizon_limit = 0;
   /// Optional structured trace receiver (not owned; see obs/trace.hpp).

@@ -23,7 +23,7 @@ constexpr auto kLargerProc = [](std::int32_t a, std::int32_t b) {
 }  // namespace
 
 DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
-                           Policy policy, bool log_decisions)
+                           Policy policy)
     : sys_(&sys),
       yields_(&yields),
       order_(sys, policy),
@@ -34,10 +34,6 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
       head_(static_cast<std::size_t>(sys.num_tasks()), 0),
       ready_at_(static_cast<std::size_t>(sys.num_tasks())),
       remaining_(sys.total_subtasks()) {
-  if (log_decisions) {
-    decision_sink_ = std::make_unique<DvqDecisionSink>(sched_);
-    set_trace_sink(nullptr);  // wires the internal sink into the probe
-  }
   ready_q_.reserve(head_.size());
   pending_.reserve(head_.size());
   completions_.reserve(procs_.size());
@@ -55,20 +51,6 @@ DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
     }
   }
   std::make_heap(pending_.begin(), pending_.end(), kLaterPending);
-}
-
-void DvqSimulator::set_trace_sink(TraceSink* sink) {
-  user_sink_ = sink;
-  TraceSink* effective = user_sink_;
-  if (decision_sink_ != nullptr) {
-    if (effective != nullptr) {
-      tee_ = std::make_unique<TeeSink>(decision_sink_.get(), effective);
-      effective = tee_.get();
-    } else {
-      effective = decision_sink_.get();
-    }
-  }
-  probe_.set_sink(effective);
 }
 
 Time DvqSimulator::next_event_time() const {
@@ -134,10 +116,21 @@ void DvqSimulator::step_into(std::vector<SubtaskRef>& started) {
   }
 
   if (probe_.enabled()) [[unlikely]] {
-    step_instrumented(started, t);
+    if (probe_.wants_full_instrumentation()) {
+      step_instrumented(started, t);
+    } else {
+      step_fast<true>(started, t);
+    }
     return;
   }
+  step_fast<false>(started, t);
+}
 
+template <bool kTraced>
+void DvqSimulator::step_fast(std::vector<SubtaskRef>& started, Time t) {
+  if constexpr (kTraced) {
+    probe_.begin_decision(TraceEventKind::kEventBegin, t);
+  }
   // 2.+3. Hand each free processor (ascending id) the highest-priority
   // live ready subtask, immediately (work-conserving).
   while (!free_procs_.empty()) {
@@ -156,9 +149,11 @@ void DvqSimulator::step_into(std::vector<SubtaskRef>& started) {
     const std::int32_t proc = free_procs_.front();
     std::pop_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
     free_procs_.pop_back();
-    commit_placement(ref, t, proc);
+    [[maybe_unused]] const Time c = commit_placement(ref, t, proc);
+    if constexpr (kTraced) note_placement(t, ref, proc, c);
     started.push_back(ref);
   }
+  if constexpr (kTraced) probe_.end_decision();
 }
 
 // noinline: instrumented-path-only code; folding it into step() costs

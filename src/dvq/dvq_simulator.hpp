@@ -18,15 +18,16 @@
 //
 // With a probe attached, step() takes the instrumented path — the
 // pre-optimization full scan and event-reporting partial_sort — so
-// trace streams and metric values stay exactly stable.  Instrumented or
-// not, the placements are the same.
+// trace streams and metric values stay exactly stable.  Exception: a
+// sink whose event_mask() fits inside kDecisionTraceEvents (e.g. the
+// InvariantAuditor) is served from the fast path with only the
+// decision-outcome events emitted.  Whatever the path, the placements
+// are the same.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "dvq/decision_sink.hpp"
 #include "dvq/dvq_schedule.hpp"
 #include "dvq/yield.hpp"
 #include "obs/probe.hpp"
@@ -42,12 +43,8 @@ struct DvqOptions;  // dvq/dvq_scheduler.hpp
 /// model must outlive the simulator.
 class DvqSimulator {
  public:
-  /// `log_decisions` is DEPRECATED: it is now an alias that installs an
-  /// internal DvqDecisionSink (see dvq/decision_sink.hpp) and will be
-  /// removed one release after 2026-08.  New code should install a
-  /// TraceSink via set_trace_sink() instead.
   DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
-               Policy policy = Policy::kPd2, bool log_decisions = false);
+               Policy policy = Policy::kPd2);
 
   /// True once every subtask has been placed (no events can remain that
   /// would place more work).
@@ -74,10 +71,11 @@ class DvqSimulator {
   [[nodiscard]] const DvqSchedule& schedule() const { return sched_; }
   [[nodiscard]] DvqSchedule take_schedule() && { return std::move(sched_); }
 
-  /// Installs a structured trace sink (not owned; null uninstalls).  It
-  /// observes the same event stream as the deprecated decision log, and
-  /// an instrumented run places every subtask identically.
-  void set_trace_sink(TraceSink* sink);
+  /// Installs a structured trace sink (not owned; null uninstalls).  An
+  /// instrumented run places every subtask identically.  To collect a
+  /// per-instant decision log, install a DvqDecisionSink (see
+  /// dvq/decision_sink.hpp).
+  void set_trace_sink(TraceSink* sink) { probe_.set_sink(sink); }
   /// Accumulates sched.* metrics (see obs/probe.hpp) into `reg`, which
   /// must outlive the simulator.
   void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
@@ -89,6 +87,12 @@ class DvqSimulator {
   // One event instant's decisions appended into `started` (not cleared;
   // reused as a scratch buffer by run_until).
   void step_into(std::vector<SubtaskRef>& started);
+  // The O(changes) decision body.  kTraced additionally reports the
+  // decision-outcome events (event begin, placements, migrations,
+  // deadlines) — the kDecisionTraceEvents subset of the instrumented
+  // stream — without the naive scan.
+  template <bool kTraced>
+  void step_fast(std::vector<SubtaskRef>& started, Time t);
   // The pre-optimization decision body: naive ready scan + instrumented
   // sort + trace/metrics reporting.  Identical placements.
   void step_instrumented(std::vector<SubtaskRef>& started, Time t);
@@ -107,9 +111,6 @@ class DvqSimulator {
   PackedKeys keys_;
   ReadyQueue ready_q_;
   SchedProbe probe_;
-  TraceSink* user_sink_ = nullptr;
-  std::unique_ptr<DvqDecisionSink> decision_sink_;  // log_decisions alias
-  std::unique_ptr<TeeSink> tee_;
   DvqSchedule sched_;
 
   struct Proc {

@@ -15,9 +15,8 @@
 
 namespace pfair {
 
-/// Reference counterpart of `schedule_dvq` (same options; `trace`,
-/// `metrics` and `log_decisions` are ignored — the oracle is unobserved
-/// by design).
+/// Reference counterpart of `schedule_dvq` (same options; `trace` and
+/// `metrics` are ignored — the oracle is unobserved by design).
 [[nodiscard]] DvqSchedule schedule_dvq_reference(const TaskSystem& sys,
                                                  const YieldModel& yields,
                                                  const DvqOptions& opts = {});

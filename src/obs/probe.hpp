@@ -33,7 +33,12 @@ class SchedProbe {
  public:
   SchedProbe() = default;
 
-  void set_sink(TraceSink* sink) { sink_ = sink; }
+  /// Installs `sink` and caches its event mask — re-install the sink if
+  /// its mask changes.
+  void set_sink(TraceSink* sink) {
+    sink_ = sink;
+    mask_ = sink != nullptr ? sink->event_mask() : 0;
+  }
   /// Resolves the sched.* metric names in `reg` (stable handles).
   void attach_metrics(MetricsRegistry& reg);
 
@@ -41,6 +46,14 @@ class SchedProbe {
   [[nodiscard]] bool metering() const { return invocations_ != nullptr; }
   /// True iff any hook would do work — hot loops branch on this once.
   [[nodiscard]] bool enabled() const { return tracing() || metering(); }
+  /// True iff the naive instrumented scan is required to serve this
+  /// probe: metrics need full ready-set/comparison accounting, and so
+  /// does any sink wanting events beyond kDecisionTraceEvents.  When
+  /// enabled() but not wants_full_instrumentation(), the simulators use
+  /// the O(changes) fast path and emit only decision-outcome events.
+  [[nodiscard]] bool wants_full_instrumentation() const {
+    return metering() || (mask_ & ~kDecisionTraceEvents) != 0;
+  }
   [[nodiscard]] TraceSink* sink() const { return sink_; }
 
   /// One scheduler invocation (slot boundary / event instant).
@@ -174,6 +187,7 @@ class SchedProbe {
   void emit(const TraceEvent& e) { sink_->on_event(e); }
 
   TraceSink* sink_ = nullptr;
+  TraceEventMask mask_ = 0;
   Counter* invocations_ = nullptr;
   Counter* comparisons_ = nullptr;
   Counter* placements_ = nullptr;

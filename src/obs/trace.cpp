@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfair {
 
@@ -31,6 +32,8 @@ const char* to_string(TraceEventKind k) {
       return "deadline_hit";
     case TraceEventKind::kDeadlineMiss:
       return "deadline_miss";
+    case TraceEventKind::kAuditFinding:
+      return "audit_finding";
   }
   return "?";
 }
@@ -55,7 +58,13 @@ RingBufferSink::RingBufferSink(std::size_t capacity) : buf_(capacity) {
   PFAIR_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
 }
 
+RingBufferSink::RingBufferSink(std::size_t capacity, MetricsRegistry& reg)
+    : RingBufferSink(capacity) {
+  drops_ = &reg.counter(obs_metrics::kTraceDropped);
+}
+
 void RingBufferSink::on_event(const TraceEvent& e) {
+  if (total_ >= buf_.size() && drops_ != nullptr) drops_->add();
   buf_[static_cast<std::size_t>(total_ % buf_.size())] = e;
   ++total_;
 }

@@ -22,6 +22,9 @@
 
 namespace pfair {
 
+class MetricsRegistry;
+class Counter;
+
 /// What happened at one instant of a simulated run.
 enum class TraceEventKind : std::uint8_t {
   kSlotBegin,     ///< SFQ slot boundary reached (detail = slot index)
@@ -35,9 +38,40 @@ enum class TraceEventKind : std::uint8_t {
   kProcIdle,      ///< capacity left idle after a decision (detail = count)
   kDeadlineHit,   ///< subject completed by its deadline
   kDeadlineMiss,  ///< subject missed (detail = tardiness in ticks)
+  kAuditFinding,  ///< invariant violation (aux = Violation::Kind, detail =
+                  ///< finding payload; see obs/audit.hpp)
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind k);
+
+/// Bitmask over TraceEventKind: bit `1 << kind` set means the sink wants
+/// events of that kind.  A sink's mask is a *path-selection hint* for the
+/// simulators, not a filter: a sink may still receive events outside its
+/// mask (e.g. from an instrumented run forced by another sink in a tee).
+using TraceEventMask = std::uint32_t;
+
+[[nodiscard]] constexpr TraceEventMask trace_mask_of(TraceEventKind k) {
+  return TraceEventMask{1} << static_cast<unsigned>(k);
+}
+
+/// Every event kind (the default sink mask).
+inline constexpr TraceEventMask kAllTraceEvents =
+    (trace_mask_of(TraceEventKind::kAuditFinding) << 1) - 1;
+
+/// The decision-outcome subset the O(changes) fast paths can emit without
+/// falling back to the naive instrumented scan: slot/event boundaries,
+/// placements, migrations and deadline outcomes.  A sink whose mask is a
+/// subset of this keeps the simulator on the fast path (see
+/// SchedProbe::wants_full_instrumentation); ready-set sizes, comparison
+/// outcomes, preemptions, free/idle processors require the full scan.
+inline constexpr TraceEventMask kDecisionTraceEvents =
+    trace_mask_of(TraceEventKind::kSlotBegin) |
+    trace_mask_of(TraceEventKind::kEventBegin) |
+    trace_mask_of(TraceEventKind::kPlace) |
+    trace_mask_of(TraceEventKind::kMigrate) |
+    trace_mask_of(TraceEventKind::kDeadlineHit) |
+    trace_mask_of(TraceEventKind::kDeadlineMiss) |
+    trace_mask_of(TraceEventKind::kAuditFinding);
 
 /// Which priority rule decided a comparison (see PriorityOrder::compare).
 enum class TieRule : std::uint8_t {
@@ -49,6 +83,12 @@ enum class TieRule : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(TieRule r);
+
+/// Metric names published by trace sinks.
+namespace obs_metrics {
+/// Events overwritten by a full RingBufferSink (truncated trace).
+inline constexpr const char* kTraceDropped = "trace.ring_dropped";
+}  // namespace obs_metrics
 
 /// One compact, POD trace record.  Fields not meaningful for a given
 /// kind keep their defaults.
@@ -72,6 +112,13 @@ class TraceSink {
   /// Called at the end of every simulator step (and at end of run) so
   /// sinks that group events per decision can commit.  Default no-op.
   virtual void flush() {}
+  /// The event kinds this sink needs (default: everything).  Queried
+  /// once when the sink is installed; sinks that only need the
+  /// kDecisionTraceEvents subset keep the simulator on its O(changes)
+  /// fast path.
+  [[nodiscard]] virtual TraceEventMask event_mask() const {
+    return kAllTraceEvents;
+  }
 };
 
 /// Bounded in-memory sink: keeps the `capacity` newest events and
@@ -79,6 +126,10 @@ class TraceSink {
 class RingBufferSink final : public TraceSink {
  public:
   explicit RingBufferSink(std::size_t capacity);
+  /// Same, with the drop count additionally published as the
+  /// obs_metrics::kTraceDropped counter in `reg` (which must outlive the
+  /// sink) so truncated traces are visible in metrics output.
+  RingBufferSink(std::size_t capacity, MetricsRegistry& reg);
 
   void on_event(const TraceEvent& e) override;
 
@@ -96,6 +147,7 @@ class RingBufferSink final : public TraceSink {
  private:
   std::vector<TraceEvent> buf_;
   std::uint64_t total_ = 0;  // head_ = total_ % capacity
+  Counter* drops_ = nullptr;
 };
 
 /// Streaming sink: one JSON object per event, one per line (JSONL).
@@ -126,6 +178,14 @@ class TeeSink final : public TraceSink {
   void flush() override {
     if (a_ != nullptr) a_->flush();
     if (b_ != nullptr) b_->flush();
+  }
+  /// Union of the children's needs: any child requiring the full stream
+  /// pulls the whole tee onto the instrumented path.
+  [[nodiscard]] TraceEventMask event_mask() const override {
+    TraceEventMask m = 0;
+    if (a_ != nullptr) m |= a_->event_mask();
+    if (b_ != nullptr) m |= b_->event_mask();
+    return m;
   }
 
  private:

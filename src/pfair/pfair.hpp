@@ -69,10 +69,14 @@
 
 #include "dvq/decision_sink.hpp"  // IWYU pragma: export
 
-#include "io/csv.hpp"     // IWYU pragma: export
-#include "io/export.hpp"  // IWYU pragma: export
-#include "io/json.hpp"    // IWYU pragma: export
-#include "io/parse.hpp"   // IWYU pragma: export
-#include "io/render.hpp"  // IWYU pragma: export
-#include "io/svg.hpp"     // IWYU pragma: export
-#include "io/table.hpp"   // IWYU pragma: export
+#include "io/csv.hpp"       // IWYU pragma: export
+#include "io/export.hpp"    // IWYU pragma: export
+#include "io/json.hpp"      // IWYU pragma: export
+#include "io/parse.hpp"     // IWYU pragma: export
+#include "io/render.hpp"    // IWYU pragma: export
+#include "io/svg.hpp"       // IWYU pragma: export
+#include "io/table.hpp"     // IWYU pragma: export
+#include "io/trace_io.hpp"  // IWYU pragma: export
+
+#include "obs/audit.hpp"    // IWYU pragma: export
+#include "obs/capture.hpp"  // IWYU pragma: export

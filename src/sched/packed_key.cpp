@@ -22,8 +22,9 @@ int field_bits(std::uint64_t range) {
 PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
     : sys_(&sys), policy_(policy) {
   // PF's lexicographic successor-bit tie-break has no fixed-width
-  // encoding; it keeps the PriorityOrder fallback.
-  if (policy == Policy::kPf) return;
+  // encoding; it keeps the PriorityOrder fallback.  The fault-injection
+  // policy is deliberately left unpacked too — it is never hot.
+  if (policy == Policy::kPf || policy == Policy::kBroken) return;
 
   const std::int64_t n = sys.num_tasks();
   const std::int64_t total = sys.total_subtasks();

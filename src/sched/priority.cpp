@@ -14,8 +14,29 @@ const char* to_string(Policy p) {
       return "PD";
     case Policy::kPd2:
       return "PD2";
+    case Policy::kBroken:
+      return "BROKEN";
   }
   return "?";
+}
+
+std::optional<Policy> policy_from_string(std::string_view s) {
+  auto eq = [s](std::string_view name) {
+    if (s.size() != name.size()) return false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i] >= 'a' && s[i] <= 'z'
+                         ? static_cast<char>(s[i] - 'a' + 'A')
+                         : s[i];
+      if (c != name[i]) return false;
+    }
+    return true;
+  };
+  if (eq("EPDF")) return Policy::kEpdf;
+  if (eq("PF")) return Policy::kPf;
+  if (eq("PD")) return Policy::kPd;
+  if (eq("PD2")) return Policy::kPd2;
+  if (eq("BROKEN")) return Policy::kBroken;
+  return std::nullopt;
 }
 
 template <bool kExplain>
@@ -41,6 +62,19 @@ int PriorityOrder::compare_impl(const SubtaskRef& a, const SubtaskRef& b,
   if (policy_ == Policy::kPf) {
     const int c = compare_pf_bits(a, b);
     return decide(c == 0 ? TieRule::kTie : TieRule::kBBit, c);
+  }
+
+  if (policy_ == Policy::kBroken) {
+    // Fault injection: PD2 with Rules 2 and 3 inverted (b-bit 0 beats 1,
+    // *earlier* group deadline wins).  Exists so the invariant auditor
+    // has a deterministic way to produce real deadline misses.
+    if (sa.bbit != sb.bbit) return decide(TieRule::kBBit, sa.bbit ? 1 : -1);
+    if (!sa.bbit) return decide(TieRule::kTie, 0);
+    if (sa.group_deadline != sb.group_deadline) {
+      return decide(TieRule::kGroupDeadline,
+                    sa.group_deadline < sb.group_deadline ? -1 : 1);
+    }
+    return decide(TieRule::kTie, 0);
   }
 
   // Rule 2 (PD, PD2): b-bit 1 beats b-bit 0 — an overlapping window makes

@@ -19,16 +19,24 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "obs/trace.hpp"
 #include "tasks/task_system.hpp"
 
 namespace pfair {
 
-/// Which priority policy drives the scheduler.
-enum class Policy { kEpdf, kPf, kPd, kPd2 };
+/// Which priority policy drives the scheduler.  kBroken is a
+/// deliberately faulty PD2 (inverted Rules 2 and 3) kept as a fault
+/// injection target for the invariant auditor — never use it for real
+/// scheduling.
+enum class Policy { kEpdf, kPf, kPd, kPd2, kBroken };
 
 [[nodiscard]] const char* to_string(Policy p);
+/// Inverse of to_string, case-insensitive ("pd2", "EPDF", "broken", ...);
+/// nullopt for an unknown name.
+[[nodiscard]] std::optional<Policy> policy_from_string(std::string_view s);
 
 /// Priority comparisons over the subtasks of one task system.
 /// Holds a reference to the system; the system must outlive the order.

@@ -93,8 +93,21 @@ std::vector<SubtaskRef> SfqSimulator::step() {
 void SfqSimulator::step_into(std::vector<SubtaskRef>& picks) {
   drain_calendar();
   if (probe_.enabled()) [[unlikely]] {
-    step_instrumented(picks);
+    if (probe_.wants_full_instrumentation()) {
+      step_instrumented(picks);
+    } else {
+      step_fast<true>(picks);
+    }
     return;
+  }
+  step_fast<false>(picks);
+}
+
+template <bool kTraced>
+void SfqSimulator::step_fast(std::vector<SubtaskRef>& picks) {
+  [[maybe_unused]] const Time at = Time::slots(now_);
+  if constexpr (kTraced) {
+    probe_.begin_decision(TraceEventKind::kSlotBegin, at, now_);
   }
   const auto m = static_cast<std::size_t>(sys_->processors());
   while (picks.size() < m && !ready_q_.empty()) {
@@ -102,11 +115,14 @@ void SfqSimulator::step_into(std::vector<SubtaskRef>& picks) {
     // Skip entries scheduled behind the heap's back by an instrumented
     // step (the head moved on).
     if (head_[static_cast<std::size_t>(ref.task)] != ref.seq) continue;
-    sched_.place(ref, now_, static_cast<int>(picks.size()));
+    const int proc = static_cast<int>(picks.size());
+    sched_.place(ref, now_, proc);
+    if constexpr (kTraced) note_placement(at, ref, proc);
     commit_placement(ref);
     picks.push_back(ref);
   }
   ++now_;
+  if constexpr (kTraced) probe_.end_decision();
 }
 
 // noinline: instrumented-path-only code; folding these into step() costs

@@ -20,8 +20,11 @@
 // With a probe attached (trace sink or metrics), step() instead takes
 // the instrumented path: the naive full scan plus the event-reporting
 // partial_sort, unchanged from before this optimization, so trace
-// streams and metric values stay exactly stable.  Instrumented or not,
-// the placements are the same.
+// streams and metric values stay exactly stable.  Exception: a sink
+// whose event_mask() fits inside kDecisionTraceEvents (e.g. the
+// InvariantAuditor) is served from the fast path with only the
+// decision-outcome events emitted.  Whatever the path, the placements
+// are the same.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +85,12 @@ class SfqSimulator {
   // One slot's decisions appended into `picks` (not cleared; reused as a
   // scratch buffer by run_until so the hot loop never reallocates).
   void step_into(std::vector<SubtaskRef>& picks);
+  // The O(changes) slot body.  kTraced additionally reports the
+  // decision-outcome events (slot begin, placements, migrations,
+  // deadlines) — the kDecisionTraceEvents subset of the instrumented
+  // stream — without the naive scan.
+  template <bool kTraced>
+  void step_fast(std::vector<SubtaskRef>& picks);
   // The pre-optimization slot body: naive scan + instrumented sort +
   // trace/metrics reporting.  Identical placements, full reporting.
   void step_instrumented(std::vector<SubtaskRef>& picks);

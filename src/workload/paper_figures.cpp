@@ -108,4 +108,18 @@ TaskSystem fig6_system() {
   return TaskSystem(std::move(tasks), 2);
 }
 
+std::optional<FigureScenario> figure_scenario_by_name(std::string_view name) {
+  if (name == "fig1a") return FigureScenario{fig1_periodic(), nullptr};
+  if (name == "fig1b") return FigureScenario{fig1_intra_sporadic(), nullptr};
+  if (name == "fig1c") return FigureScenario{fig1_gis(), nullptr};
+  if (name == "fig2") return fig2_scenario();
+  if (name == "fig3") return fig3_scenario();
+  if (name == "fig6") return FigureScenario{fig6_system(), nullptr};
+  return std::nullopt;
+}
+
+const char* figure_scenario_names() {
+  return "fig1a, fig1b, fig1c, fig2, fig3, fig6";
+}
+
 }  // namespace pfair

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "dvq/yield.hpp"
 #include "tasks/task_system.hpp"
@@ -44,5 +46,16 @@ struct FigureScenario {
 
 /// Fig. 6: same weights as Fig. 2 (used for the k-compliance walkthrough).
 [[nodiscard]] TaskSystem fig6_system();
+
+/// Looks up a figure scenario by name — "fig1a", "fig1b", "fig1c",
+/// "fig2", "fig3" or "fig6" — so CLI tools and scripts can name the
+/// paper's systems directly.  Figures without a yield script come back
+/// with a null `yields` (schedule them with FullQuantumYield, or under
+/// the SFQ model).  Unknown names return nullopt.
+[[nodiscard]] std::optional<FigureScenario> figure_scenario_by_name(
+    std::string_view name);
+
+/// Comma-separated list of the names figure_scenario_by_name accepts.
+[[nodiscard]] const char* figure_scenario_names();
 
 }  // namespace pfair

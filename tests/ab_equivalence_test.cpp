@@ -13,6 +13,7 @@
 #include "core/thread_pool.hpp"
 #include "dvq/dvq_scheduler.hpp"
 #include "dvq/reference_scheduler.hpp"
+#include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/reference_scheduler.hpp"
@@ -174,6 +175,49 @@ TEST(AbEquivalence, DvqMatchesNaiveReferenceAcrossSeedsAndPolicies) {
           }
           if (!same_dvq(ref, instrumented, sys, &why)) {
             failures.record(tag + " instrumented: " + why);
+          }
+      });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+// An attached invariant auditor (whose event_mask is the decision-only
+// subset, keeping the simulators on their fast paths) must be invisible
+// to the schedule in both models — and must stay clean on these
+// feasible systems.
+TEST(AbEquivalence, AuditorOnRunsAreBitIdentical) {
+  FailureLog failures;
+  global_pool().parallel_for(
+      0, kSeeds * 4,
+      [&](std::int64_t i) {
+          const int seed = static_cast<int>(i / 4);
+          const Policy policy = kAllPolicies[i % 4];
+          const TaskSystem sys = make_system(seed);
+          const std::string tag = "seed " + std::to_string(seed) + " " +
+                                  to_string(policy);
+          std::string why;
+
+          SfqOptions sopts;
+          sopts.policy = policy;
+          const SlotSchedule plain = schedule_sfq(sys, sopts);
+          SfqOptions saudit = sopts;
+          InvariantAuditor sfq_audit(sys);
+          saudit.trace = &sfq_audit;
+          if (!same_sfq(plain, schedule_sfq(sys, saudit), sys, &why)) {
+            failures.record(tag + " sfq audited: " + why);
+          }
+
+          const BernoulliYield yields(
+              static_cast<std::uint64_t>(seed) * 7919 + 3, 1, 3, kTick,
+              kQuantum - kTick);
+          DvqOptions dopts;
+          dopts.policy = policy;
+          const DvqSchedule dplain = schedule_dvq(sys, yields, dopts);
+          DvqOptions daudit = dopts;
+          InvariantAuditor dvq_audit(sys);
+          daudit.trace = &dvq_audit;
+          if (!same_dvq(dplain, schedule_dvq(sys, yields, daudit), sys,
+                        &why)) {
+            failures.record(tag + " dvq audited: " + why);
           }
       });
   EXPECT_EQ(failures.count.load(), 0) << failures.first;

@@ -6,6 +6,7 @@
 #include "analysis/blocking.hpp"
 #include "analysis/tardiness.hpp"
 #include "analysis/validity.hpp"
+#include "dvq/decision_sink.hpp"
 #include "dvq/dvq_scheduler.hpp"
 #include "sched/sfq_scheduler.hpp"
 #include "workload/generator.hpp"
@@ -74,9 +75,7 @@ TEST(Dvq, Fig2bExactTimeline) {
   const Time delta = kTick;
   const FigureScenario sc = fig2_scenario(delta);
   const TaskSystem& sys = sc.system;
-  DvqOptions opts;
-  opts.log_decisions = true;
-  const DvqSchedule sched = schedule_dvq(sys, *sc.yields, opts);
+  const DvqSchedule sched = schedule_dvq(sys, *sc.yields);
   ASSERT_TRUE(sched.complete());
 
   const SubtaskRef a1{0, 0}, b1{1, 0}, c1{2, 0}, f1{5, 0};
@@ -118,10 +117,11 @@ TEST(Dvq, WorkConservation) {
   // At every decision instant recorded by the engine, a processor is
   // left idle only when no ready subtask remains.
   const FigureScenario sc = fig2_scenario(kTick, 2);
+  DvqDecisionSink decisions;
   DvqOptions opts;
-  opts.log_decisions = true;
+  opts.trace = &decisions;
   const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields, opts);
-  for (const DvqDecision& d : sched.decisions()) {
+  for (const DvqDecision& d : decisions.decisions()) {
     // Either every freed processor got work, or no ready subtask was left.
     EXPECT_TRUE(d.started.size() == d.free_procs.size() ||
                 d.left_ready.empty())
@@ -241,9 +241,7 @@ TEST(Dvq, PropertyPbHoldsAcrossRandomRuns) {
     const TaskSystem sys = generate_periodic(cfg);
     const BernoulliYield yields(seed * 31, 1, 2, kQuantum - kTick,
                                 kQuantum - kTick);
-    DvqOptions opts;
-    opts.log_decisions = true;
-    const DvqSchedule sched = schedule_dvq(sys, yields, opts);
+    const DvqSchedule sched = schedule_dvq(sys, yields);
     const BlockingReport rep = analyze_blocking(sys, sched);
     EXPECT_TRUE(rep.property_pb_holds())
         << "seed " << seed << ": "

@@ -34,9 +34,7 @@ TEST(Integration, FullPaperPipelineOnOneSystem) {
 
   // 2. DVQ PD2 with adversarial yields: bounded misses.
   const FixedYield yields(kTick);
-  DvqOptions dopts;
-  dopts.log_decisions = true;
-  const DvqSchedule dvq = schedule_dvq(sys, yields, dopts);
+  const DvqSchedule dvq = schedule_dvq(sys, yields);
   ASSERT_TRUE(dvq.complete());
   const std::int64_t dvq_tard = measure_tardiness(sys, dvq).max_ticks;
   EXPECT_LT(dvq_tard, kTicksPerSlot);

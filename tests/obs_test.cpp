@@ -2,10 +2,12 @@
 // guarantee that instrumentation never changes a schedule.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "dvq/decision_sink.hpp"
 #include "dvq/dvq_scheduler.hpp"
 #include "io/json.hpp"
 #include "obs/metrics.hpp"
@@ -125,6 +127,49 @@ TEST(Metrics, HistogramShape) {
   EXPECT_EQ(h.bucket(11), 1);  // 1024..2047
 }
 
+TEST(Metrics, HistogramEdgeCases) {
+  Histogram h;
+  h.add(0);
+  h.add(-5);  // negatives share bucket 0 with zero
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 0);
+
+  // Powers of two land in the bucket of their bit-width: 2^(b-1) is the
+  // smallest value in bucket b.
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.bucket(1), 1);  // {1}
+  EXPECT_EQ(h.bucket(2), 2);  // {2, 3}
+  EXPECT_EQ(h.bucket(3), 1);  // {4}
+
+  // INT64_MAX has bit-width 63 and must not overflow the bucket array.
+  h.add(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.bucket(63), 1);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 7);
+}
+
+TEST(Metrics, HistogramConcurrentAddsSumExactly) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("conc");
+  constexpr std::int64_t kN = 20000;
+  global_pool().parallel_for(
+      0, kN, [&](std::int64_t i) { h.add(i % 7); }, 64);
+  EXPECT_EQ(h.count(), kN);
+  std::int64_t expected_sum = 0;
+  for (std::int64_t i = 0; i < kN; ++i) expected_sum += i % 7;
+  EXPECT_EQ(h.sum(), expected_sum);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 6);
+  // Bucket totals across all stripes reconcile with the count.
+  std::int64_t bucketed = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) bucketed += h.bucket(b);
+  EXPECT_EQ(bucketed, kN);
+}
+
 TEST(Metrics, RegistryHandlesAreStableAndSnapshotSerializes) {
   MetricsRegistry reg;
   Counter& a = reg.counter("a");
@@ -215,25 +260,37 @@ TEST(DvqSimulator, TracingDoesNotChangeTheSchedule) {
   EXPECT_GT(snap.counter_or(sched_metrics::kMigrations), 0);
 }
 
-// The deprecated log_decisions flag must keep producing the identical
-// decision log — with and without a user trace sink alongside it.
-TEST(DvqSimulator, LogDecisionsAliasSurvivesUserSink) {
+// DvqDecisionSink (the replacement for the removed log_decisions flag)
+// must produce the identical decision log in own-storage mode, alone or
+// teed alongside another sink.
+TEST(DvqSimulator, DecisionSinkOwnStorageMatchesScheduleBound) {
   const FigureScenario sc = fig2_scenario(Time::ticks(kTicksPerSlot / 8));
+
+  DvqSchedule bound_sched(sc.system);
+  DvqDecisionSink bound(bound_sched);
   DvqOptions legacy;
-  legacy.log_decisions = true;
+  legacy.trace = &bound;
   const DvqSchedule base = schedule_dvq(sc.system, *sc.yields, legacy);
-  ASSERT_FALSE(base.decisions().empty());
+  ASSERT_FALSE(bound_sched.decisions().empty());
 
-  RingBufferSink sink(1 << 16);
-  DvqOptions both = legacy;
-  both.trace = &sink;
+  DvqDecisionSink own;
+  RingBufferSink ring(1 << 16);
+  TeeSink tee(&own, &ring);
+  DvqOptions both;
+  both.trace = &tee;
   const DvqSchedule mixed = schedule_dvq(sc.system, *sc.yields, both);
-  EXPECT_GT(sink.total(), 0u);
+  EXPECT_GT(ring.total(), 0u);
+  for (std::int32_t k = 0; k < sc.system.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sc.system.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      EXPECT_EQ(base.placement(ref).start, mixed.placement(ref).start);
+    }
+  }
 
-  ASSERT_EQ(base.decisions().size(), mixed.decisions().size());
-  for (std::size_t i = 0; i < base.decisions().size(); ++i) {
-    const DvqDecision& x = base.decisions()[i];
-    const DvqDecision& y = mixed.decisions()[i];
+  ASSERT_EQ(bound_sched.decisions().size(), own.decisions().size());
+  for (std::size_t i = 0; i < own.decisions().size(); ++i) {
+    const DvqDecision& x = bound_sched.decisions()[i];
+    const DvqDecision& y = own.decisions()[i];
     EXPECT_EQ(x.at, y.at);
     EXPECT_EQ(x.free_procs, y.free_procs);
     EXPECT_EQ(x.started, y.started);

@@ -7,6 +7,7 @@
 #include "analysis/lag.hpp"
 #include "analysis/tardiness.hpp"
 #include "analysis/validity.hpp"
+#include "dvq/decision_sink.hpp"
 #include "dvq/dvq_scheduler.hpp"
 #include "io/svg.hpp"
 #include "sched/sfq_scheduler.hpp"
@@ -81,11 +82,12 @@ TEST(Properties, DvqCompletionOrderRespectsPriorityAtDecisions) {
   // strictly higher-priority ready subtask (work-conserving greedy).
   const TaskSystem sys = full_system(9, 3, 14);
   const BernoulliYield yields(3, 1, 2, kTick, kQuantum - kTick);
+  DvqDecisionSink decisions;
   DvqOptions opts;
-  opts.log_decisions = true;
+  opts.trace = &decisions;
   const DvqSchedule sched = schedule_dvq(sys, yields, opts);
   const PriorityOrder order(sys, Policy::kPd2);
-  for (const DvqDecision& d : sched.decisions()) {
+  for (const DvqDecision& d : decisions.decisions()) {
     for (const SubtaskRef& waiting : d.left_ready) {
       for (const SubtaskRef& chosen : d.started) {
         EXPECT_FALSE(order.strictly_higher(waiting, chosen))

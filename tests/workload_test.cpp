@@ -144,9 +144,7 @@ TEST(Figures, Fig2SystemShape) {
 
 TEST(Figures, Fig3ScenarioExhibitsPredecessorBlocking) {
   const FigureScenario sc = fig3_scenario();
-  DvqOptions opts;
-  opts.log_decisions = true;
-  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields, opts);
+  const DvqSchedule sched = schedule_dvq(sc.system, *sc.yields);
   ASSERT_TRUE(sched.complete());
   const BlockingReport rep = analyze_blocking(sc.system, sched);
   EXPECT_GT(rep.predecessor_blocked, 0);

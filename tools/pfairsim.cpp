@@ -1,10 +1,14 @@
 // pfairsim — command-line Pfair scheduling simulator.
 //
 //   pfairsim [options] <taskfile>
-//   pfairsim --demo            # run the paper's Fig. 2 system
+//   pfairsim --demo            # run the paper's Fig. 6 system
+//   pfairsim --demo=fig2       # any figure: fig1a/fig1b/fig1c/fig2/fig3/fig6
 //
 // Options:
-//   --policy=pd2|pd|pf|epdf    priority policy           (default pd2)
+//   --policy=pd2|pd|pf|epdf|broken  priority policy      (default pd2;
+//                              "broken" inverts the PD2 tie-breaks — a
+//                              deliberately faulty policy for exercising
+//                              the auditor)
 //   --model=sfq|dvq|stag       quantum model             (default sfq)
 //   --yield=full               every subtask runs a full quantum
 //   --yield=fixed:<num>/<den>  every subtask uses num/den of its quantum
@@ -18,10 +22,15 @@
 //                              open with Perfetto "legacy trace")
 //   --metrics=<path>           per-run metrics snapshot as JSON
 //   --svg=<path>               export the schedule as an SVG figure
+//   --audit                    run the online invariant auditor alongside
+//                              the scheduler (obs/audit.hpp); findings are
+//                              printed and force a nonzero exit
+//   --capture=<path>           with --audit: on the first finding, write a
+//                              shrunk replayable pfair-capture-v1 bundle
 //   --quiet                    suppress the rendered schedule
 //
-// --trace/--metrics/--chrome-trace cover sfq and dvq; the staggered
-// model keeps its own loop and is not instrumented.
+// --trace/--metrics/--chrome-trace/--audit cover sfq and dvq; the
+// staggered model keeps its own loop and is not instrumented.
 //
 // The task file format is documented in src/io/parse.hpp.
 #include <fstream>
@@ -46,21 +55,26 @@ struct CliOptions {
   std::string chrome_path;
   std::string metrics_path;
   std::string svg_path;
+  std::string capture_path;
+  bool audit = false;
   bool quiet = false;
   bool demo = false;
+  std::string demo_name = "fig6";
   std::string file;
 };
 
 [[noreturn]] void usage(const std::string& err) {
   if (!err.empty()) std::cerr << "pfairsim: " << err << "\n";
-  std::cerr << "usage: pfairsim [--policy=pd2|pd|pf|epdf] "
+  std::cerr << "usage: pfairsim [--policy=pd2|pd|pf|epdf|broken] "
                "[--model=sfq|dvq|stag]\n"
                "                [--yield=full|fixed:n/d|bern:n/d] "
                "[--seed=N] [--csv=PATH]\n"
                "                [--trace=PATH] [--chrome-trace=PATH] "
                "[--metrics=PATH]\n"
-               "                [--svg=PATH] [--quiet] "
-               "(<taskfile> | --demo)\n";
+               "                [--svg=PATH] [--audit] [--capture=PATH] "
+               "[--quiet]\n"
+               "                (<taskfile> | --demo[=NAME])\n"
+               "demo names: " << figure_scenario_names() << "\n";
   std::exit(2);
 }
 
@@ -86,17 +100,9 @@ CliOptions parse_cli(int argc, char** argv) {
     };
     if (arg.rfind("--policy=", 0) == 0) {
       const std::string v = value("--policy=");
-      if (v == "pd2") {
-        o.policy = Policy::kPd2;
-      } else if (v == "pd") {
-        o.policy = Policy::kPd;
-      } else if (v == "pf") {
-        o.policy = Policy::kPf;
-      } else if (v == "epdf") {
-        o.policy = Policy::kEpdf;
-      } else {
-        usage("unknown policy '" + v + "'");
-      }
+      const auto p = policy_from_string(v);
+      if (!p.has_value()) usage("unknown policy '" + v + "'");
+      o.policy = *p;
     } else if (arg.rfind("--model=", 0) == 0) {
       const std::string v = value("--model=");
       if (v == "sfq") {
@@ -122,10 +128,18 @@ CliOptions parse_cli(int argc, char** argv) {
       o.metrics_path = value("--metrics=");
     } else if (arg.rfind("--svg=", 0) == 0) {
       o.svg_path = value("--svg=");
+    } else if (arg.rfind("--capture=", 0) == 0) {
+      o.capture_path = value("--capture=");
+      o.audit = true;
+    } else if (arg == "--audit") {
+      o.audit = true;
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "--demo") {
       o.demo = true;
+    } else if (arg.rfind("--demo=", 0) == 0) {
+      o.demo = true;
+      o.demo_name = value("--demo=");
     } else if (arg == "--help" || arg == "-h") {
       usage("");
     } else if (!arg.empty() && arg[0] == '-') {
@@ -156,10 +170,52 @@ std::unique_ptr<YieldModel> make_yields(const CliOptions& o) {
   usage("unknown yield spec '" + o.yield_spec + "'");
 }
 
+// Serializes an arbitrary yield model for a capture bundle.  The common
+// CLI specs map to their exact kinds; anything else (e.g. a figure's
+// scripted yields) is enumerated subtask by subtask — finite and exact.
+CaptureBundle::YieldSpec yield_spec_for_capture(const CliOptions& o,
+                                                const TaskSystem& sys,
+                                                const YieldModel& yields) {
+  CaptureBundle::YieldSpec spec;
+  if (o.yield_spec == "full") return spec;  // kind defaults to "full"
+  if (o.yield_spec.rfind("fixed:", 0) == 0) {
+    const auto [n, d] = parse_frac(o.yield_spec.substr(6));
+    spec.kind = "fixed";
+    spec.delta_ticks = (kQuantum - Time::slots_frac(0, n, d)).raw_ticks();
+    return spec;
+  }
+  if (o.yield_spec.rfind("bern:", 0) == 0) {
+    const auto [n, d] = parse_frac(o.yield_spec.substr(5));
+    spec.kind = "bern";
+    spec.seed = o.seed;
+    spec.num = n;
+    spec.den = d;
+    spec.min_ticks = kTicksPerSlot / 4;
+    spec.max_ticks = (kQuantum - kTick).raw_ticks();
+    return spec;
+  }
+  spec.kind = "scripted";
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
+      const SubtaskRef ref{k, s};
+      const Time c = yields.cost(sys, ref);
+      if (c != kQuantum) spec.costs.push_back({k, s, c.raw_ticks()});
+    }
+  }
+  return spec;
+}
+
 int run(const CliOptions& o) {
   std::optional<TaskSystem> sys;
+  std::shared_ptr<ScriptedYield> demo_yields;
   if (o.demo) {
-    sys.emplace(fig6_system());
+    auto scenario = figure_scenario_by_name(o.demo_name);
+    if (!scenario.has_value()) {
+      usage("unknown demo '" + o.demo_name + "' (have " +
+            figure_scenario_names() + ")");
+    }
+    sys.emplace(std::move(scenario->system));
+    demo_yields = std::move(scenario->yields);
   } else {
     std::ifstream f(o.file);
     if (!f.good()) {
@@ -173,19 +229,31 @@ int run(const CliOptions& o) {
   std::cout << "policy: " << to_string(o.policy) << ", feasible: "
             << std::boolalpha << sys->feasible() << "\n\n";
 
-  const std::unique_ptr<YieldModel> yields = make_yields(o);
+  // A figure's scripted yields drive the run unless --yield overrides.
+  std::unique_ptr<YieldModel> cli_yields;
+  const YieldModel* yields = nullptr;
+  if (demo_yields != nullptr && o.yield_spec == "full") {
+    yields = demo_yields.get();
+  } else {
+    cli_yields = make_yields(o);
+    yields = cli_yields.get();
+  }
 
   // Observability plumbing: --trace streams JSONL, --chrome-trace keeps
   // a bounded ring of events for the decision instants, --metrics fills
-  // a registry.  The staggered model runs its own loop and supports
-  // none of them.
+  // a registry, --audit runs the invariant auditor inline (and --capture
+  // additionally records a replayable counterexample bundle).  The
+  // staggered model runs its own loop and supports none of them.
   const bool stag = o.model == CliOptions::Model::kStaggered;
   const bool wants_obs = !o.trace_path.empty() || !o.chrome_path.empty() ||
-                         !o.metrics_path.empty();
+                         !o.metrics_path.empty() || o.audit;
   if (stag && wants_obs) {
-    std::cerr << "pfairsim: warning: --trace/--chrome-trace/--metrics are "
-                 "not supported for --model=stag; ignoring\n";
+    std::cerr << "pfairsim: warning: --trace/--chrome-trace/--metrics/"
+                 "--audit are not supported for --model=stag; ignoring\n";
   }
+  MetricsRegistry reg;
+  MetricsRegistry* metrics =
+      !stag && !o.metrics_path.empty() ? &reg : nullptr;
   std::ofstream trace_f;
   std::unique_ptr<JsonlSink> jsonl;
   if (!stag && !o.trace_path.empty()) {
@@ -198,21 +266,45 @@ int run(const CliOptions& o) {
   }
   std::unique_ptr<RingBufferSink> ring;
   if (!stag && !o.chrome_path.empty()) {
-    ring = std::make_unique<RingBufferSink>(std::size_t{1} << 18);
+    // With --metrics the ring also publishes its drop count.
+    ring = metrics != nullptr
+               ? std::make_unique<RingBufferSink>(std::size_t{1} << 18, reg)
+               : std::make_unique<RingBufferSink>(std::size_t{1} << 18);
   }
-  std::unique_ptr<TeeSink> tee;
+  std::unique_ptr<InvariantAuditor> auditor;
+  std::unique_ptr<CounterexampleRecorder> recorder;
+  if (!stag && o.audit) {
+    auditor = std::make_unique<InvariantAuditor>(*sys);
+    if (metrics != nullptr) auditor->attach_metrics(reg);
+    if (!o.capture_path.empty()) {
+      const bool dvq = o.model == CliOptions::Model::kDvq;
+      CaptureBundle proto = CaptureBundle::prototype(
+          *sys, dvq ? "dvq" : "sfq", o.policy, /*horizon_limit=*/0, o.seed);
+      if (dvq) proto.yields = yield_spec_for_capture(o, *sys, *yields);
+      recorder = std::make_unique<CounterexampleRecorder>(std::move(proto));
+      auditor->set_finding_callback(
+          [&r = *recorder](const AuditFinding& f) { r.record(f); });
+    }
+  }
+
+  // Fold the active sinks into one tee chain.  The recorder sits first
+  // so the triggering event is already in its prefix when the auditor's
+  // finding callback fires.
+  std::vector<TraceSink*> sinks;
+  if (recorder != nullptr) sinks.push_back(recorder.get());
+  if (auditor != nullptr) sinks.push_back(auditor.get());
+  if (jsonl != nullptr) sinks.push_back(jsonl.get());
+  if (ring != nullptr) sinks.push_back(ring.get());
+  std::vector<std::unique_ptr<TeeSink>> tees;
   TraceSink* sink = nullptr;
-  if (jsonl != nullptr && ring != nullptr) {
-    tee = std::make_unique<TeeSink>(jsonl.get(), ring.get());
-    sink = tee.get();
-  } else if (jsonl != nullptr) {
-    sink = jsonl.get();
-  } else if (ring != nullptr) {
-    sink = ring.get();
+  for (TraceSink* s : sinks) {
+    if (sink == nullptr) {
+      sink = s;
+    } else {
+      tees.push_back(std::make_unique<TeeSink>(sink, s));
+      sink = tees.back().get();
+    }
   }
-  MetricsRegistry reg;
-  MetricsRegistry* metrics =
-      !stag && !o.metrics_path.empty() ? &reg : nullptr;
 
   TardinessSummary tard;
   if (o.model == CliOptions::Model::kSfq) {
@@ -284,6 +376,35 @@ int run(const CliOptions& o) {
     f << metrics_to_json(reg.snapshot(), 2) << "\n";
     std::cout << "metrics written to " << o.metrics_path << "\n";
   }
+  bool audit_failed = false;
+  if (auditor != nullptr) {
+    if (auditor->clean()) {
+      std::cout << "audit: clean (" << auditor->model() << " model)\n";
+    } else {
+      audit_failed = true;
+      std::cout << "audit: " << auditor->total_findings()
+                << " finding(s):\n";
+      std::size_t shown = 0;
+      for (const AuditFinding& f : auditor->findings()) {
+        if (++shown > 8) {
+          std::cout << "  ...\n";
+          break;
+        }
+        std::cout << "  " << f.str() << "\n";
+      }
+      if (recorder != nullptr && recorder->captured()) {
+        const CaptureBundle shrunk = shrink_bundle(recorder->bundle());
+        std::ofstream f(o.capture_path);
+        if (!f) {
+          std::cerr << "pfairsim: cannot open " << o.capture_path << "\n";
+          return 2;
+        }
+        f << capture_to_json(shrunk);
+        std::cout << "counterexample (" << shrunk.tasks.size()
+                  << " task(s)) written to " << o.capture_path << "\n";
+      }
+    }
+  }
 
   std::cout << "tardiness: max " << tard.max_quanta() << " quanta, "
             << tard.late_subtasks << "/" << tard.total_subtasks
@@ -295,7 +416,7 @@ int run(const CliOptions& o) {
   if (!o.csv_path.empty()) {
     std::cout << "schedule exported to " << o.csv_path << "\n";
   }
-  return tard.none_late() ? 0 : 1;
+  return tard.none_late() && !audit_failed ? 0 : 1;
 }
 
 }  // namespace
