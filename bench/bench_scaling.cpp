@@ -10,12 +10,15 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "pfair/pfair.hpp"
 
 #include "bench_main.hpp"
+#include "sweep.hpp"
 
 namespace {
 
@@ -25,6 +28,9 @@ constexpr std::int64_t kHorizon = 96;
 // The construction sweep materializes far past the scheduling horizon:
 // the point is the cost of building the subtask sequences themselves.
 constexpr std::int64_t kConstructionHorizon = 1024;
+// The cycle fast-forward sweep: 50 hyperperiods (lcm of kDens = 192) so
+// the cyclic drivers have a long steady-state region to warp over.
+constexpr std::int64_t kCycleHorizon = 9600;
 
 // Light weights from a small denominator set: per-slot ready sets stay
 // a small fraction of n, which is exactly the regime where a full
@@ -308,15 +314,123 @@ int run_bench(pfair::bench::BenchContext& ctx) {
   }
   std::cout << ct.str() << "\n";
 
+  // --- Steady-state cycle fast-forward (hyperperiod skip) ---
+  // Over kCycleHorizon = 50 hyperperiods the cyclic drivers simulate a
+  // prefix, one cycle, and a tail, and warp over the rest; the full runs
+  // (cycle_detect off) are the O(horizon) oracles.  The ff timings feed
+  // the perf guard (cycle/ cases) so the compressed path stays fast.
+  std::cout << "\n=== cycle fast-forward (n = 1024, horizon "
+            << kCycleHorizon << ") ===\n\n";
+  double cycle_sfq_speedup = 0.0, cycle_dvq_speedup = 0.0;
+  bool cycle_identical = true, cycle_engaged = true;
+  {
+    constexpr std::int64_t n = 1024;
+    std::vector<Task> tasks =
+        build_tasks(n, kCycleHorizon, /*eager=*/false, /*cache=*/nullptr);
+    Rational util(0);
+    for (const Task& task : tasks) util += task.weight().value();
+    const TaskSystem sys(std::move(tasks), static_cast<int>(util.ceil()));
+    const int reps = 3;
+
+    SfqOptions fopts;
+    fopts.horizon_limit = kCycleHorizon + 8;
+    fopts.cycle_detect = false;
+    SlotSchedule full(sys);
+    const double full_ms =
+        best_ms(reps, [&] { full = schedule_sfq(sys, fopts); });
+    SfqOptions copts;
+    copts.horizon_limit = kCycleHorizon + 8;
+    std::optional<CycleSchedule> cyc;
+    const double ff_ms =
+        best_ms(reps, [&] { cyc.emplace(schedule_sfq_cyclic(sys, copts)); });
+    cycle_engaged &= cyc->stats().engaged;
+    cycle_identical &=
+        same_sfq(full, cyc->materialize(fopts.horizon_limit), sys);
+    cycle_sfq_speedup = full_ms / std::max(ff_ms, 1e-9);
+
+    const FullQuantumYield yields;
+    DvqOptions dfopts;
+    dfopts.horizon_limit = kCycleHorizon + 8;
+    dfopts.cycle_detect = false;
+    DvqSchedule dfull(sys);
+    const double dfull_ms =
+        best_ms(reps, [&] { dfull = schedule_dvq(sys, yields, dfopts); });
+    DvqOptions dcopts;
+    dcopts.horizon_limit = kCycleHorizon + 8;
+    std::optional<DvqCycleSchedule> dcyc;
+    const double dff_ms = best_ms(
+        reps, [&] { dcyc.emplace(schedule_dvq_cyclic(sys, yields, dcopts)); });
+    cycle_engaged &= dcyc->stats().engaged;
+    cycle_identical &=
+        same_dvq(dfull, dcyc->materialize(dfopts.horizon_limit), sys);
+    cycle_dvq_speedup = dfull_ms / std::max(dff_ms, 1e-9);
+
+    ctx.value("cycle.sfq_full_ms", full_ms);
+    ctx.value("cycle.sfq_ff_ms", ff_ms);
+    ctx.value("cycle.sfq_speedup", cycle_sfq_speedup);
+    ctx.value("cycle.dvq_full_ms", dfull_ms);
+    ctx.value("cycle.dvq_ff_ms", dff_ms);
+    ctx.value("cycle.dvq_speedup", cycle_dvq_speedup);
+    for (const auto& [name, ms] :
+         {std::pair<const char*, double>{"cycle/ff_sfq", ff_ms},
+          {"cycle/ff_dvq", dff_ms}}) {
+      pfair::bench::BenchCase c;
+      c.name = name;
+      c.ns_per_op = ms * 1e6;
+      c.iterations = reps;
+      ctx.add_case(std::move(c));
+    }
+
+    TextTable cyct;
+    cyct.header({"model", "full (ms)", "ff (ms)", "x", "prefix", "cycle",
+                 "skipped", "identical"});
+    cyct.row({"sfq", cell(full_ms, 2), cell(ff_ms, 2),
+              cell(cycle_sfq_speedup, 1), cell(cyc->stats().prefix_slots),
+              cell(cyc->stats().cycle_slots), cell(cyc->stats().cycles_skipped),
+              cycle_identical ? "yes" : "NO"});
+    cyct.row({"dvq", cell(dfull_ms, 2), cell(dff_ms, 2),
+              cell(cycle_dvq_speedup, 1), cell(dcyc->stats().prefix_slots),
+              cell(dcyc->stats().cycle_slots),
+              cell(dcyc->stats().cycles_skipped),
+              cycle_identical ? "yes" : "NO"});
+    std::cout << cyct.str() << "\n";
+  }
+
+  // --- parallel_for grain: auto chunking vs per-index claims ---
+  // The auto grain (8 chunks per worker) amortizes the shared cursor;
+  // grain = 1 is the pre-default behavior for callers that never tuned
+  // it.  Recorded as a before/after pair, not shape-checked (wall-clock
+  // ratios of a contended atomic are too noisy to gate on).
+  std::cout << "\n=== parallel_for grain (auto vs 1) ===\n\n";
+  {
+    constexpr std::int64_t kIters = 1 << 19;
+    bench::MaxReducer red(std::numeric_limits<std::int64_t>::min());
+    const auto body = [&](std::int64_t i) {
+      red.raise((i * 2654435761LL) & 0xffff);
+    };
+    const double one_ms = best_ms(
+        3, [&] { global_pool().parallel_for(0, kIters, body, /*grain=*/1); });
+    const double auto_ms =
+        best_ms(3, [&] { global_pool().parallel_for(0, kIters, body); });
+    ctx.value("grain.one_ms", one_ms);
+    ctx.value("grain.auto_ms", auto_ms);
+    ctx.value("grain.speedup", one_ms / std::max(auto_ms, 1e-9));
+    std::cout << kIters << " iterations: grain 1 " << one_ms
+              << " ms -> auto grain " << auto_ms << " ms ("
+              << one_ms / std::max(auto_ms, 1e-9) << "x)\n";
+  }
+
   const bool ok = all_identical && construction_identical &&
+                  cycle_identical && cycle_engaged &&
+                  cycle_sfq_speedup >= 5.0 && cycle_dvq_speedup >= 5.0 &&
                   (sfq_speedup_max_n >= 5.0 || dvq_speedup_max_n >= 5.0) &&
                   construct_speedup_max_n >= 5.0 &&
                   construct_mem_ratio_max_n >= 10.0 && audit_clean &&
                   audit_sfq_ratio < 2.0 && audit_dvq_ratio < 2.0;
   std::cout << "shape check (bit-identical everywhere, >=5x sched at "
-            << "n=16384, >=5x construction and >=10x memory at n=16384, "
-            << "audit clean and < 2x at n=4096): " << (ok ? "PASS" : "FAIL")
-            << '\n';
+            << "n=16384, >=5x cycle fast-forward, >=5x construction and "
+            << ">=10x memory at n=16384, audit clean and < 2x at n=4096): "
+            << (ok ? "PASS" : "FAIL") << '\n';
   return ok ? 0 : 1;
 }
 

@@ -16,8 +16,16 @@ namespace pfair::bench {
 
 /// Monotone running maximum over worker threads.  Writes race benignly
 /// (CAS loop); read the result after the sweep returns.
+///
+/// The identity (the value reported when nothing was raised) must be an
+/// explicit choice: the historical implicit 0 silently swallows
+/// all-negative sweeps (e.g. max lag numerators, signed slack), where
+/// the true maximum is below zero.  Default stays 0 for counters and
+/// tick measures, which are nonnegative by construction.
 class MaxReducer {
  public:
+  explicit MaxReducer(std::int64_t identity = 0) : v_{identity} {}
+
   void raise(std::int64_t v) {
     std::int64_t cur = v_.load(std::memory_order_relaxed);
     while (v > cur &&
@@ -29,7 +37,7 @@ class MaxReducer {
   }
 
  private:
-  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> v_;
 };
 
 /// Event counter ("system schedulable", "theorem violated", ...).

@@ -2,7 +2,7 @@
 """Performance regression guard for the scheduler hot paths.
 
 Compares fresh pfair-bench-v1 reports against the committed baseline
-bundle (BENCH_PR3.json at the repo root) and fails if any guarded case
+bundle (BENCH_PR5.json at the repo root) and fails if any guarded case
 regresses by more than the tolerance on its median ns/op.
 
 Usage:
@@ -11,12 +11,16 @@ Usage:
   scripts/perf_guard.py --reports DIR                    # check pre-made
                                                          # reports
 
-The guard runs (or reads) three reports:
+The guard runs (or reads) four reports:
   micro_sched  google-benchmark micro costs (BM_SfqSchedule,
                BM_DvqSchedule, ... with repetitions for medians)
-  scaling      fast-vs-naive sweep over task counts (bench_scaling)
+  scaling      fast-vs-naive sweep over task counts plus the cycle
+               fast-forward cases (bench_scaling)
   epdf_dvq     one DVQ experiment, wall-clock only (rides along in the
                bundle for reference; not guarded)
+  soak         scale soak with the S1-large tier (PFAIR_SOAK_LARGE=1):
+               its own shape check enforces the >= 100x fast-forward
+               speedup and the bundle records it in large.ff_speedup
 
 Only cases matching GUARDED_PATTERNS are compared: the optimized
 schedulers' costs.  The naive reference timings (sfq_ref/*, dvq_ref/*)
@@ -37,10 +41,10 @@ import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BASELINE = os.path.join(REPO, "BENCH_PR3.json")
+BASELINE = os.path.join(REPO, "BENCH_PR5.json")
 TOLERANCE = 0.15
 
-# (bench target, report name, extra argv)
+# (bench target, report name, extra argv, extra env)
 BENCHES = [
     (
         "bench_micro_sched",
@@ -50,9 +54,14 @@ BENCHES = [
             "BM_SfqSchedule|BM_SfqScheduleIndexed|BM_DvqSchedule",
             "--benchmark_repetitions=3",
         ],
+        {},
     ),
-    ("bench_scaling", "scaling", []),
-    ("bench_epdf_dvq", "epdf_dvq", ["--repeat=5"]),
+    ("bench_scaling", "scaling", [], {}),
+    ("bench_epdf_dvq", "epdf_dvq", ["--repeat=5"], {}),
+    # The S1-large tier's own shape check enforces the >= 100x
+    # fast-forward speedup and records it in the bundle's values; it has
+    # no guarded ns/op cases (single-shot wall clock).
+    ("bench_soak", "soak", [], {"PFAIR_SOAK_LARGE": "1"}),
 ]
 
 GUARDED_PATTERNS = [
@@ -64,6 +73,9 @@ GUARDED_PATTERNS = [
     # Flyweight task-system construction (bench_scaling); the eager
     # oracle rides along as construction_eager/* unguarded.
     r"^construction/",
+    # Steady-state cycle fast-forward (bench_scaling); the full-horizon
+    # simulations it is compared against are unguarded references.
+    r"^cycle/",
 ]
 
 # Cases whose baseline median sits below this ride along in the reports
@@ -81,7 +93,7 @@ def run_benches(build_dir, out_dir):
         stdout=subprocess.DEVNULL,
     )
     reports = {}
-    for target, name, extra in BENCHES:
+    for target, name, extra, env in BENCHES:
         path = os.path.join(out_dir, f"BENCH_{name}.json")
         exe = os.path.join(build_dir, "bench", target)
         print(f"perf_guard: running {target} ...", file=sys.stderr)
@@ -89,6 +101,7 @@ def run_benches(build_dir, out_dir):
             [exe, f"--json={path}"] + extra,
             check=True,
             cwd=REPO,
+            env={**os.environ, **env},
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
@@ -99,7 +112,7 @@ def run_benches(build_dir, out_dir):
 
 def load_reports(reports_dir):
     reports = {}
-    for _, name, _ in BENCHES:
+    for _, name, _, _ in BENCHES:
         path = os.path.join(reports_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
             sys.exit(f"perf_guard: missing report {path}")

@@ -1,14 +1,22 @@
 #include "analysis/lag.hpp"
 
+#include "sched/compressed_schedule.hpp"
+
 namespace pfair {
 
-Rational lag(const TaskSystem& sys, const SlotSchedule& sched,
-             std::int64_t task, std::int64_t t) {
+namespace {
+
+// The lag analyses read schedules only through placement(); templating
+// lets cycle-compressed schedules reuse them unchanged (synthesized
+// placements resolved on demand).
+template <class Sched>
+Rational lag_impl(const TaskSystem& sys, const Sched& sched,
+                  std::int64_t task, std::int64_t t) {
   PFAIR_REQUIRE(t >= 0, "lag at negative time");
   const Task& tk = sys.task(task);
   std::int64_t allocated = 0;
   for (std::int64_t s = 0; s < tk.num_subtasks(); ++s) {
-    const SlotPlacement& p = sched.placement(
+    const SlotPlacement p = sched.placement(
         SubtaskRef{static_cast<std::int32_t>(task),
                    static_cast<std::int32_t>(s)});
     if (p.scheduled() && p.slot < t) ++allocated;
@@ -16,8 +24,9 @@ Rational lag(const TaskSystem& sys, const SlotSchedule& sched,
   return tk.weight().value() * Rational(t) - Rational(allocated);
 }
 
-LagRange lag_range(const TaskSystem& sys, const SlotSchedule& sched,
-                   std::int64_t horizon) {
+template <class Sched>
+LagRange lag_range_impl(const TaskSystem& sys, const Sched& sched,
+                        std::int64_t horizon) {
   LagRange range;
   bool first = true;
   for (std::int64_t k = 0; k < sys.num_tasks(); ++k) {
@@ -26,7 +35,7 @@ LagRange lag_range(const TaskSystem& sys, const SlotSchedule& sched,
     // Incremental: lag(t+1) = lag(t) + w - scheduled_in_slot(t).
     std::vector<bool> in_slot(static_cast<std::size_t>(horizon), false);
     for (std::int64_t s = 0; s < tk.num_subtasks(); ++s) {
-      const SlotPlacement& p = sched.placement(
+      const SlotPlacement p = sched.placement(
           SubtaskRef{static_cast<std::int32_t>(k),
                      static_cast<std::int32_t>(s)});
       if (p.scheduled() && p.slot < horizon) {
@@ -47,7 +56,35 @@ LagRange lag_range(const TaskSystem& sys, const SlotSchedule& sched,
   return range;
 }
 
+}  // namespace
+
+Rational lag(const TaskSystem& sys, const SlotSchedule& sched,
+             std::int64_t task, std::int64_t t) {
+  return lag_impl(sys, sched, task, t);
+}
+
+Rational lag(const TaskSystem& sys, const CycleSchedule& sched,
+             std::int64_t task, std::int64_t t) {
+  return lag_impl(sys, sched, task, t);
+}
+
+LagRange lag_range(const TaskSystem& sys, const SlotSchedule& sched,
+                   std::int64_t horizon) {
+  return lag_range_impl(sys, sched, horizon);
+}
+
+LagRange lag_range(const TaskSystem& sys, const CycleSchedule& sched,
+                   std::int64_t horizon) {
+  return lag_range_impl(sys, sched, horizon);
+}
+
 bool is_pfair(const TaskSystem& sys, const SlotSchedule& sched,
+              std::int64_t horizon) {
+  const LagRange r = lag_range(sys, sched, horizon);
+  return r.min > Rational(-1) && r.max < Rational(1);
+}
+
+bool is_pfair(const TaskSystem& sys, const CycleSchedule& sched,
               std::int64_t horizon) {
   const LagRange r = lag_range(sys, sched, horizon);
   return r.min > Rational(-1) && r.max < Rational(1);

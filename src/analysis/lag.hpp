@@ -17,9 +17,13 @@
 
 namespace pfair {
 
+class CycleSchedule;  // sched/compressed_schedule.hpp
+
 /// lag(T, t) for one task at a slot boundary, using the task's fluid rate
 /// wt(T) from time 0 (meaningful for synchronous periodic tasks).
 [[nodiscard]] Rational lag(const TaskSystem& sys, const SlotSchedule& sched,
+                           std::int64_t task, std::int64_t t);
+[[nodiscard]] Rational lag(const TaskSystem& sys, const CycleSchedule& sched,
                            std::int64_t task, std::int64_t t);
 
 /// Extremes of lag over all tasks and all boundaries in [0, horizon].
@@ -30,9 +34,14 @@ struct LagRange {
 [[nodiscard]] LagRange lag_range(const TaskSystem& sys,
                                  const SlotSchedule& sched,
                                  std::int64_t horizon);
+[[nodiscard]] LagRange lag_range(const TaskSystem& sys,
+                                 const CycleSchedule& sched,
+                                 std::int64_t horizon);
 
 /// True iff -1 < lag < 1 everywhere — the classical Pfairness property.
 [[nodiscard]] bool is_pfair(const TaskSystem& sys, const SlotSchedule& sched,
+                            std::int64_t horizon);
+[[nodiscard]] bool is_pfair(const TaskSystem& sys, const CycleSchedule& sched,
                             std::int64_t horizon);
 
 }  // namespace pfair

@@ -43,17 +43,17 @@ SwitchingStats measure_switching(const TaskSystem& sys,
   SwitchingStats extra;
   for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
     const Task& task = sys.task(k);
-    const SlotPlacement* prev = nullptr;
+    SlotPlacement prev;
     for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
-      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      const SlotPlacement p = sched.placement(SubtaskRef{k, s});
       if (!p.scheduled()) continue;
       execs.push_back(Exec{p.slot * kTicksPerSlot,
                            (p.slot + 1) * kTicksPerSlot, p.proc, k});
-      if (prev != nullptr) {
-        if (p.proc != prev->proc) ++extra.migrations;
-        if (p.slot != prev->slot + 1) ++extra.job_breaks;
+      if (prev.scheduled()) {
+        if (p.proc != prev.proc) ++extra.migrations;
+        if (p.slot != prev.slot + 1) ++extra.job_breaks;
       }
-      prev = &p;
+      prev = p;
     }
   }
   SwitchingStats st = from_execs(std::move(execs), sys.processors());

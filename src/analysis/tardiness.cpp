@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "dvq/dvq_cycle.hpp"
+#include "sched/compressed_schedule.hpp"
+
 namespace pfair {
 
 std::int64_t subtask_tardiness(const TaskSystem& sys,
@@ -173,6 +176,70 @@ void record_tardiness_metrics(const TaskSystem& sys,
         return subtask_tardiness_ticks(y, c, r);
       },
       [](const DvqSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).placed;
+      });
+}
+
+std::int64_t subtask_tardiness(const TaskSystem& sys,
+                               const CycleSchedule& sched,
+                               const SubtaskRef& ref) {
+  const Subtask& sub = sys.subtask(ref);
+  const std::int64_t completion = sched.completion_slot(ref);
+  return std::max<std::int64_t>(0, completion - sub.deadline);
+}
+
+std::int64_t subtask_tardiness_ticks(const TaskSystem& sys,
+                                     const DvqCycleSchedule& sched,
+                                     const SubtaskRef& ref) {
+  const Subtask& sub = sys.subtask(ref);
+  const DvqPlacement p = sched.placement(ref);
+  PFAIR_REQUIRE(p.placed, "subtask " << ref << " not scheduled");
+  const Time late = p.completion() - Time::slots(sub.deadline);
+  return std::max<std::int64_t>(0, late.raw_ticks());
+}
+
+TardinessSummary measure_tardiness(const TaskSystem& sys,
+                                   const CycleSchedule& sched) {
+  return measure(
+      sys, sched,
+      [](const TaskSystem& y, const CycleSchedule& c, const SubtaskRef& r) {
+        return subtask_tardiness(y, c, r) * kTicksPerSlot;
+      },
+      [](const CycleSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).scheduled();
+      });
+}
+
+TardinessSummary measure_tardiness(const TaskSystem& sys,
+                                   const DvqCycleSchedule& sched) {
+  return measure(
+      sys, sched,
+      [](const TaskSystem& y, const DvqCycleSchedule& c,
+         const SubtaskRef& r) { return subtask_tardiness_ticks(y, c, r); },
+      [](const DvqCycleSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).placed;
+      });
+}
+
+std::vector<std::int64_t> tardiness_values_ticks(const TaskSystem& sys,
+                                                 const CycleSchedule& sched) {
+  return values(
+      sys, sched,
+      [](const TaskSystem& y, const CycleSchedule& c, const SubtaskRef& r) {
+        return subtask_tardiness(y, c, r) * kTicksPerSlot;
+      },
+      [](const CycleSchedule& c, const SubtaskRef& r) {
+        return c.placement(r).scheduled();
+      });
+}
+
+std::vector<std::int64_t> tardiness_values_ticks(
+    const TaskSystem& sys, const DvqCycleSchedule& sched) {
+  return values(
+      sys, sched,
+      [](const TaskSystem& y, const DvqCycleSchedule& c,
+         const SubtaskRef& r) { return subtask_tardiness_ticks(y, c, r); },
+      [](const DvqCycleSchedule& c, const SubtaskRef& r) {
         return c.placement(r).placed;
       });
 }

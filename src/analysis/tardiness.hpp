@@ -10,6 +10,9 @@
 
 namespace pfair {
 
+class CycleSchedule;     // sched/compressed_schedule.hpp
+class DvqCycleSchedule;  // dvq/dvq_cycle.hpp
+
 /// Tardiness summary of one run.  Slot schedules report in whole slots;
 /// DVQ schedules in ticks (one quantum = kTicksPerSlot ticks).
 struct TardinessSummary {
@@ -69,5 +72,22 @@ void record_tardiness_metrics(const TaskSystem& sys,
 void record_tardiness_metrics(const TaskSystem& sys,
                               const DvqSchedule& sched,
                               MetricsRegistry& reg);
+
+/// Cycle-compressed schedules run through the identical measurements —
+/// synthesized placements are resolved on demand, never materialized.
+[[nodiscard]] std::int64_t subtask_tardiness(const TaskSystem& sys,
+                                             const CycleSchedule& sched,
+                                             const SubtaskRef& ref);
+[[nodiscard]] std::int64_t subtask_tardiness_ticks(
+    const TaskSystem& sys, const DvqCycleSchedule& sched,
+    const SubtaskRef& ref);
+[[nodiscard]] TardinessSummary measure_tardiness(const TaskSystem& sys,
+                                                 const CycleSchedule& sched);
+[[nodiscard]] TardinessSummary measure_tardiness(
+    const TaskSystem& sys, const DvqCycleSchedule& sched);
+[[nodiscard]] std::vector<std::int64_t> tardiness_values_ticks(
+    const TaskSystem& sys, const CycleSchedule& sched);
+[[nodiscard]] std::vector<std::int64_t> tardiness_values_ticks(
+    const TaskSystem& sys, const DvqCycleSchedule& sched);
 
 }  // namespace pfair

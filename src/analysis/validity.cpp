@@ -4,6 +4,9 @@
 #include <map>
 #include <sstream>
 
+#include "dvq/dvq_cycle.hpp"
+#include "sched/compressed_schedule.hpp"
+
 namespace pfair {
 
 const char* to_string(Violation::Kind k) {
@@ -45,11 +48,12 @@ void add(ValidityReport& rep, Violation::Kind kind, SubtaskRef ref,
   rep.violations.push_back(Violation{kind, ref, detail});
 }
 
-}  // namespace
-
-ValidityReport check_slot_schedule(const TaskSystem& sys,
-                                   const SlotSchedule& sched,
-                                   std::int64_t tardiness_allowance) {
+// Both checkers read schedules only through placement() — templating
+// over the schedule type lets cycle-compressed schedules run the
+// identical checks with synthesized placements resolved on demand.
+template <class Sched>
+ValidityReport check_slot_impl(const TaskSystem& sys, const Sched& sched,
+                               std::int64_t tardiness_allowance) {
   ValidityReport rep;
   std::map<std::int64_t, std::int64_t> slot_load;
 
@@ -59,7 +63,7 @@ ValidityReport check_slot_schedule(const TaskSystem& sys,
     for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
       const SubtaskRef ref{k, s};
       const Subtask& sub = task.subtask(s);
-      const SlotPlacement& p = sched.placement(ref);
+      const SlotPlacement p = sched.placement(ref);
       if (!p.scheduled()) {
         add(rep, Violation::Kind::kUnscheduled, ref,
             "never placed (horizon reached?)");
@@ -104,9 +108,9 @@ ValidityReport check_slot_schedule(const TaskSystem& sys,
   return rep;
 }
 
-ValidityReport check_dvq_schedule(const TaskSystem& sys,
-                                  const DvqSchedule& sched,
-                                  Time tardiness_allowance) {
+template <class Sched>
+ValidityReport check_dvq_impl(const TaskSystem& sys, const Sched& sched,
+                              Time tardiness_allowance) {
   ValidityReport rep;
 
   // Per-processor occupancy for overlap checking.
@@ -124,7 +128,7 @@ ValidityReport check_dvq_schedule(const TaskSystem& sys,
     for (std::int32_t s = 0; s < task.num_subtasks(); ++s) {
       const SubtaskRef ref{k, s};
       const Subtask& sub = task.subtask(s);
-      const DvqPlacement& p = sched.placement(ref);
+      const DvqPlacement p = sched.placement(ref);
       if (!p.placed) {
         add(rep, Violation::Kind::kUnscheduled, ref,
             "never placed (horizon reached?)");
@@ -175,6 +179,32 @@ ValidityReport check_dvq_schedule(const TaskSystem& sys,
     }
   }
   return rep;
+}
+
+}  // namespace
+
+ValidityReport check_slot_schedule(const TaskSystem& sys,
+                                   const SlotSchedule& sched,
+                                   std::int64_t tardiness_allowance) {
+  return check_slot_impl(sys, sched, tardiness_allowance);
+}
+
+ValidityReport check_slot_schedule(const TaskSystem& sys,
+                                   const CycleSchedule& sched,
+                                   std::int64_t tardiness_allowance) {
+  return check_slot_impl(sys, sched, tardiness_allowance);
+}
+
+ValidityReport check_dvq_schedule(const TaskSystem& sys,
+                                  const DvqSchedule& sched,
+                                  Time tardiness_allowance) {
+  return check_dvq_impl(sys, sched, tardiness_allowance);
+}
+
+ValidityReport check_dvq_schedule(const TaskSystem& sys,
+                                  const DvqCycleSchedule& sched,
+                                  Time tardiness_allowance) {
+  return check_dvq_impl(sys, sched, tardiness_allowance);
 }
 
 }  // namespace pfair

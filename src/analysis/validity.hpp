@@ -19,6 +19,9 @@
 
 namespace pfair {
 
+class CycleSchedule;     // sched/compressed_schedule.hpp
+class DvqCycleSchedule;  // dvq/dvq_cycle.hpp
+
 /// One violation, with a human-readable description.
 struct Violation {
   enum class Kind {
@@ -54,6 +57,15 @@ struct ValidityReport {
 /// the deadline condition; Theorem 3 corresponds to kQuantum.
 [[nodiscard]] ValidityReport check_dvq_schedule(
     const TaskSystem& sys, const DvqSchedule& sched,
+    Time tardiness_allowance = Time());
+
+/// Cycle-compressed schedules run through the identical checks —
+/// synthesized placements are resolved on demand, never materialized.
+[[nodiscard]] ValidityReport check_slot_schedule(
+    const TaskSystem& sys, const CycleSchedule& sched,
+    std::int64_t tardiness_allowance = 0);
+[[nodiscard]] ValidityReport check_dvq_schedule(
+    const TaskSystem& sys, const DvqCycleSchedule& sched,
     Time tardiness_allowance = Time());
 
 }  // namespace pfair

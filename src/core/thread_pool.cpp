@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "core/assert.hpp"
@@ -48,8 +49,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               const std::function<void(std::int64_t)>& body,
                               std::int64_t grain) {
-  PFAIR_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  PFAIR_REQUIRE(grain >= 0, "parallel_for grain must be >= 0");
   if (begin >= end) return;
+  if (grain == 0) {
+    grain = std::max<std::int64_t>(
+        1, (end - begin) / (8 * static_cast<std::int64_t>(size())));
+  }
 
   std::atomic<std::int64_t> cursor{begin};
   std::mutex err_mu;

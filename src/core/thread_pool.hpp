@@ -35,9 +35,14 @@ class ThreadPool {
   /// Run `body(i)` for every i in [begin, end), distributing chunks of
   /// `grain` indices across the pool.  Blocks until all iterations finish.
   /// Exceptions thrown by `body` are rethrown (first one wins).
+  ///
+  /// `grain == 0` (the default) picks max(1, (end - begin) / (8 * size()))
+  /// — about eight chunks per worker, amortizing the atomic cursor on
+  /// cheap bodies while keeping enough chunks for load balancing.  Pass
+  /// an explicit grain >= 1 to override (e.g. 1 for very lumpy bodies).
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t)>& body,
-                    std::int64_t grain = 1);
+                    std::int64_t grain = 0);
 
  private:
   void worker_loop();

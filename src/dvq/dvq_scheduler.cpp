@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "dvq/dvq_cycle.hpp"
 #include "dvq/dvq_simulator.hpp"
 #include "obs/metrics.hpp"
 #include "sched/sfq_scheduler.hpp"
@@ -10,6 +11,14 @@ namespace pfair {
 
 DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
                          const DvqOptions& opts) {
+  if (opts.cycle_detect && opts.trace == nullptr && opts.metrics == nullptr &&
+      yields.periodic_costs()) {
+    const std::int64_t limit =
+        opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+    DvqCycleSchedule cyc = schedule_dvq_cyclic(sys, yields, opts);
+    if (cyc.stats().engaged) return cyc.materialize(limit);
+    return std::move(cyc).take_stored();
+  }
   const std::int64_t slot_limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
   DvqSimulator sim(sys, yields, opts.policy);

@@ -34,6 +34,12 @@ struct DvqOptions {
   /// histograms accumulate into it, plus a final "sched.idle_ticks"
   /// gauge (capacity minus busy time over the makespan).
   MetricsRegistry* metrics = nullptr;
+  /// Steady-state cycle detection (dvq/dvq_cycle.hpp): skip proven-
+  /// recurring hyperperiods instead of simulating them.  Engages only
+  /// for deterministic/periodic yield models (YieldModel::periodic_costs)
+  /// and never while `trace` or `metrics` is attached; placements are
+  /// bit-identical either way.
+  bool cycle_detect = true;
 };
 
 /// Runs the DVQ scheduler with actual execution costs drawn from `yields`.

@@ -263,6 +263,54 @@ void DvqSimulator::run_until(Time time_limit) {
   }
 }
 
+void DvqSimulator::warp(std::int64_t cycles, std::int64_t cycle_slots,
+                        const std::vector<std::int64_t>& cycle_allocs,
+                        std::int64_t boundary_slot) {
+  PFAIR_REQUIRE(!probe_.enabled(), "warp would skip trace events");
+  PFAIR_REQUIRE(cycles >= 0 && cycle_slots > 0, "bad warp parameters");
+  if (cycles == 0) return;
+  const Time shift = Time::ticks(cycles * cycle_slots * kTicksPerSlot);
+  const auto n = static_cast<std::size_t>(sys_->num_tasks());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int64_t adv = cycles * cycle_allocs[k];
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    PFAIR_REQUIRE(head_[k] + adv <= task.num_subtasks(),
+                  "warp overruns task " << task.name());
+    head_[k] += adv;
+    remaining_ -= adv;
+    if (head_[k] < task.num_subtasks()) {
+      ready_at_[k] = ready_at_[k] + shift;
+    }
+  }
+  // Uniform time shifts preserve heap order, so busy processors and
+  // their completion events move in place.
+  for (Proc& pr : procs_) {
+    if (pr.busy) pr.busy_until = pr.busy_until + shift;
+  }
+  for (Completion& c : completions_) c.at = c.at + shift;
+  now_ = now_ + shift;
+  // Pending entries and queued ready entries name pre-warp seqs —
+  // rebuild both from the shifted readiness instants.  At the (shifted)
+  // boundary every readiness instant strictly before it has already
+  // been drained; at or after it is still a pending event.
+  const Time boundary =
+      Time::slots(boundary_slot + cycles * cycle_slots);
+  ready_q_.clear();
+  pending_.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    if (head_[k] >= task.num_subtasks()) continue;
+    const SubtaskRef ref{static_cast<std::int32_t>(k),
+                         static_cast<std::int32_t>(head_[k])};
+    if (ready_at_[k] < boundary) {
+      ready_q_.push(ref);
+    } else {
+      pending_.push_back(Pending{ready_at_[k], ref});
+    }
+  }
+  std::make_heap(pending_.begin(), pending_.end(), kLaterPending);
+}
+
 std::vector<int> DvqSimulator::idle_processors() const {
   std::vector<int> out;
   for (std::size_t pi = 0; pi < procs_.size(); ++pi) {

@@ -68,6 +68,37 @@ class DvqSimulator {
   /// Processors currently idle (valid between steps).
   [[nodiscard]] std::vector<int> idle_processors() const;
 
+  /// The system being scheduled.
+  [[nodiscard]] const TaskSystem& system() const { return *sys_; }
+  /// Raw per-task / per-processor state, for cycle fingerprints
+  /// (dvq/dvq_cycle.hpp).
+  [[nodiscard]] std::int64_t head_of(std::int64_t task) const {
+    return head_[static_cast<std::size_t>(task)];
+  }
+  [[nodiscard]] Time ready_time_of(std::int64_t task) const {
+    return ready_at_[static_cast<std::size_t>(task)];
+  }
+  [[nodiscard]] bool proc_busy(std::int64_t proc) const {
+    return procs_[static_cast<std::size_t>(proc)].busy;
+  }
+  [[nodiscard]] Time proc_busy_until(std::int64_t proc) const {
+    return procs_[static_cast<std::size_t>(proc)].busy_until;
+  }
+  /// True iff a probe (trace sink or metrics) is attached.
+  [[nodiscard]] bool instrumented() const { return probe_.enabled(); }
+
+  /// Fast-forwards `cycles` repetitions of a steady-state cycle of
+  /// `cycle_slots` slots detected at slot boundary `boundary_slot` (all
+  /// events < boundary processed, none at or after), in which task k
+  /// starts exactly `cycle_allocs[k]` subtasks.  Counters and event
+  /// times jump by the cycle length; the pending/ready partition is
+  /// rebuilt relative to the shifted boundary.  Callers
+  /// (dvq/dvq_cycle.cpp) must have proved the recurrence via
+  /// fingerprints.  Requires an uninstrumented simulator.
+  void warp(std::int64_t cycles, std::int64_t cycle_slots,
+            const std::vector<std::int64_t>& cycle_allocs,
+            std::int64_t boundary_slot);
+
   [[nodiscard]] const DvqSchedule& schedule() const { return sched_; }
   [[nodiscard]] DvqSchedule take_schedule() && { return std::move(sched_); }
 

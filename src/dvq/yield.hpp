@@ -30,6 +30,13 @@ class YieldModel {
   [[nodiscard]] virtual Time cost(const TaskSystem& sys,
                                   const SubtaskRef& ref) const = 0;
 
+  /// True iff costs are a pure function of (task, seq mod the task's raw
+  /// job length e) — i.e. repeat verbatim every job.  This is what lets
+  /// DVQ cycle fast-forward (dvq/dvq_cycle.hpp) treat two fingerprint-
+  /// equal states as truly identical; models with per-subtask randomness
+  /// or scripts must leave this false so detection bails out cleanly.
+  [[nodiscard]] virtual bool periodic_costs() const { return false; }
+
   /// Checked wrapper around cost().
   [[nodiscard]] Time checked_cost(const TaskSystem& sys,
                                   const SubtaskRef& ref) const {
@@ -46,6 +53,7 @@ class FullQuantumYield final : public YieldModel {
   [[nodiscard]] Time cost(const TaskSystem&, const SubtaskRef&) const override {
     return kQuantum;
   }
+  [[nodiscard]] bool periodic_costs() const override { return true; }
 };
 
 /// Every subtask yields `delta` before the end of its quantum
@@ -59,6 +67,7 @@ class FixedYield final : public YieldModel {
   [[nodiscard]] Time cost(const TaskSystem&, const SubtaskRef&) const override {
     return kQuantum - delta_;
   }
+  [[nodiscard]] bool periodic_costs() const override { return true; }
 
  private:
   Time delta_;
@@ -102,6 +111,7 @@ class FractionalTailYield final : public YieldModel {
     const std::int64_t i = task.subtask(ref.seq).index;
     return i % task.weight().e == 0 ? tail_ : kQuantum;
   }
+  [[nodiscard]] bool periodic_costs() const override { return true; }
 
  private:
   Time tail_;

@@ -25,6 +25,7 @@
 #include "tasks/weight.hpp"          // IWYU pragma: export
 #include "tasks/windows.hpp"         // IWYU pragma: export
 
+#include "sched/compressed_schedule.hpp"  // IWYU pragma: export
 #include "sched/indexed_scheduler.hpp"  // IWYU pragma: export
 #include "sched/packed_key.hpp"     // IWYU pragma: export
 #include "sched/pdb_scheduler.hpp"  // IWYU pragma: export
@@ -34,7 +35,9 @@
 #include "sched/schedule.hpp"       // IWYU pragma: export
 #include "sched/sfq_scheduler.hpp"  // IWYU pragma: export
 #include "sched/simulator.hpp"      // IWYU pragma: export
+#include "sched/state_hash.hpp"     // IWYU pragma: export
 
+#include "dvq/dvq_cycle.hpp"      // IWYU pragma: export
 #include "dvq/dvq_schedule.hpp"   // IWYU pragma: export
 #include "dvq/dvq_scheduler.hpp"  // IWYU pragma: export
 #include "dvq/dvq_simulator.hpp"  // IWYU pragma: export

@@ -1,0 +1,121 @@
+// Cycle-compressed SFQ schedules — the representation half of
+// steady-state fast-forward (detection lives in sched/state_hash.hpp).
+//
+// Once the simulator state at boundary t1 is proven equal to the state
+// at t0 (< t1), the slots [t0, t1) repeat verbatim forever: instead of
+// simulating m further cycles, `schedule_sfq_cyclic` *warps* the live
+// simulator m cycles ahead and resumes real simulation for the tail.
+// The warp cap — no task may exhaust its finite subtask sequence inside
+// the skipped region — is what makes the splice exact: a finite run
+// only diverges from the infinite periodic schedule after some task
+// runs dry and frees contention, and every slot from that point on is
+// simulated for real.
+//
+// The result is a `CycleSchedule`: the inner SlotSchedule holds the real
+// prefix [0, t1) and the real tail [t1 + m*C, ...); placements inside
+// the skipped window are synthesized on demand by shifting their
+// base-cycle counterparts j*C slots (same processor — the decision
+// sequence is identical, so the processor assignment is too).  The
+// class satisfies the SlotSchedule accessor surface, so the validity /
+// lag / tardiness analyses and the InvariantAuditor consume it
+// unchanged; `materialize(h)` expands to a plain SlotSchedule for the
+// reference oracles.  Building and storing a CycleSchedule is
+// O(prefix + cycle + tail + tasks) regardless of the horizon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sched/sfq_scheduler.hpp"
+
+namespace pfair {
+
+class TraceSink;
+
+/// Splice parameters of one task: which seqs are synthesized and where
+/// their base copies live.
+struct TaskSplice {
+  std::int64_t cycle_begin = 0;  ///< head at t0: first seq of the base cycle
+  std::int64_t skip_begin = 0;   ///< head at t1: first synthesized seq
+  std::int64_t per_cycle = 0;    ///< subtasks this task places per cycle
+  std::int64_t skip_count = 0;   ///< cycles_skipped * per_cycle
+};
+
+/// What the cycle detector did for one run.
+struct CycleStats {
+  bool engaged = false;          ///< a cycle was found and skipped
+  std::int64_t prefix_slots = 0;    ///< t0: slots before the cycle starts
+  std::int64_t cycle_slots = 0;     ///< C = t1 - t0
+  std::int64_t detect_slot = 0;     ///< t1: boundary where recurrence confirmed
+  std::int64_t cycles_skipped = 0;  ///< m
+  std::int64_t slots_skipped = 0;   ///< m * C
+  std::int64_t sim_slots = 0;       ///< slots actually simulated
+};
+
+/// A schedule stored as real prefix + one stored cycle + repeat count +
+/// real tail.  Mirrors the SlotSchedule read surface (placement by
+/// value — synthesized placements have no storage to reference).
+class CycleSchedule {
+ public:
+  /// A plain (non-engaged) wrapping of a fully stored schedule.
+  explicit CycleSchedule(SlotSchedule inner);
+  /// An engaged splice.  `complete` is the simulator's own completion
+  /// verdict (every subtask placed), which the constructor cannot
+  /// recount without O(horizon) work.
+  CycleSchedule(SlotSchedule inner, CycleStats stats,
+                std::vector<TaskSplice> splices, bool complete);
+
+  [[nodiscard]] SlotPlacement placement(const SubtaskRef& ref) const;
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] std::int64_t horizon() const { return horizon_; }
+  [[nodiscard]] std::int64_t completion_slot(const SubtaskRef& ref) const;
+  [[nodiscard]] std::vector<SubtaskRef> slot_contents(std::int64_t slot) const;
+  [[nodiscard]] std::int64_t num_tasks() const { return inner_.num_tasks(); }
+  [[nodiscard]] std::int64_t num_subtasks(std::int64_t task) const {
+    return inner_.num_subtasks(task);
+  }
+
+  [[nodiscard]] const CycleStats& stats() const { return stats_; }
+  /// The physically stored placements (prefix + base cycle + tail).
+  [[nodiscard]] const SlotSchedule& stored() const { return inner_; }
+  [[nodiscard]] SlotSchedule take_stored() && { return std::move(inner_); }
+
+  /// Expands into a plain SlotSchedule containing every placement whose
+  /// slot is < `horizon` plus everything already stored.  O(subtasks).
+  [[nodiscard]] SlotSchedule materialize(std::int64_t horizon) const;
+
+ private:
+  [[nodiscard]] bool in_skip(const TaskSplice& sp, std::int64_t seq) const {
+    return stats_.engaged && seq >= sp.skip_begin &&
+           seq < sp.skip_begin + sp.skip_count;
+  }
+
+  SlotSchedule inner_;
+  CycleStats stats_;
+  std::vector<TaskSplice> splices_;  // one per task; empty if !engaged
+  std::int64_t horizon_ = 0;
+  bool complete_ = false;
+};
+
+/// Runs the SFQ scheduler with steady-state cycle detection: simulates
+/// normally while probing the state fingerprint at every hyperperiod
+/// boundary, and on a confirmed recurrence warps over as many whole
+/// cycles as the horizon and the tasks' subtask counts allow.  Falls
+/// back to a plain full run (stats().engaged == false) whenever the
+/// system is not fingerprintable, the horizon never reaches a second
+/// hyperperiod boundary, no recurrence shows up, or the run is
+/// instrumented (opts.trace / opts.metrics) — instrumented streams are
+/// never elided.  Ignores opts.cycle_detect (callers gate on it).
+[[nodiscard]] CycleSchedule schedule_sfq_cyclic(const TaskSystem& sys,
+                                                const SfqOptions& opts = {});
+
+/// Re-emits the decision-outcome trace stream (slot begins, placements,
+/// migrations, deadline outcomes — the kDecisionTraceEvents shapes the
+/// simulators produce) of an already-computed schedule into `sink`.
+/// This is how a CycleSchedule-backed run feeds the InvariantAuditor
+/// without materializing.  O(horizon + subtasks log subtasks).
+void replay_decisions(const TaskSystem& sys, const CycleSchedule& sched,
+                      TraceSink& sink);
+
+}  // namespace pfair

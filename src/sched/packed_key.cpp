@@ -104,14 +104,19 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
   if (bits_d + bits_b + bits_gd + bits_w + bits_t > 64) return;
 
   tie_bits_ = bits_t;
-  keys_.resize(static_cast<std::size_t>(total));
-  std::size_t flat = 0;
+  // Field shifts inside the packed word (LSB side): the d field sits
+  // above everything else, the gd field above the PD rank and task id.
+  const int shift_gd = bits_w + bits_t;
+  const int shift_d =
+      (has_tiebreak_fields ? 1 + bits_gd : 0) + bits_w + bits_t;
+  tasks_.resize(static_cast<std::size_t>(n));
   bool distinct = true;
   for (std::int64_t k = 0; k < n; ++k) {
-    std::uint64_t prev = 0;
     const Task& task = sys.task(k);
-    const auto pack = [&](std::int64_t s, std::int64_t deadline, bool bbit,
-                          std::int64_t gd) {
+    const std::int64_t cnt = task.num_subtasks();
+    TaskKeys& tk = tasks_[static_cast<std::size_t>(k)];
+    if (cnt == 0) continue;
+    const auto pack = [&](std::int64_t deadline, bool bbit, std::int64_t gd) {
       std::uint64_t key = static_cast<std::uint64_t>(deadline - min_d);
       if (has_tiebreak_fields) {
         // b = 1 beats b = 0; rules after the b-bit are consulted only
@@ -126,38 +131,65 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
                             : 0u);
         }
       }
-      key = (key << bits_t) | static_cast<std::uint64_t>(k);
-      // Within one task pseudo-deadlines strictly increase, so the
-      // policy fields alone must already be strictly increasing; a
-      // violation would make two live heap entries indistinguishable.
-      if (s > 0 && key <= prev) distinct = false;
-      prev = key;
-      keys_[flat++] = key;
+      return (key << bits_t) | static_cast<std::uint64_t>(k);
     };
     if (const WindowTable* wt = task.window_table()) {
-      // Walk the period directly: the table entry plus a running period
-      // shift — no per-subtask division or Subtask synthesis.
+      // Compressed form: one base key (job 0) and per-job step per
+      // in-period position.  A further job adds p to the deadline and
+      // (for a heavy task's b = 1 subtasks, whose stored field is
+      // max_gd - gd) subtracts p from the group-deadline field.
       const std::int64_t e = wt->e();
       const bool heavy = wt->heavy();
-      std::int64_t shift = task.phase();
-      std::int64_t rem = 0;
-      for (std::int64_t s = 0; s < task.num_subtasks(); ++s) {
-        pack(s, shift + wt->deadline_at(rem), wt->bbit_at(rem),
-             heavy ? shift + wt->group_deadline_at(rem) : 0);
-        if (++rem == e) {
-          rem = 0;
-          shift += wt->p();
-        }
+      tk.e = e;
+      const std::int64_t nrem = std::min(e, cnt);
+      tk.base.reserve(static_cast<std::size_t>(nrem));
+      tk.step.reserve(static_cast<std::size_t>(nrem));
+      for (std::int64_t rem = 0; rem < nrem; ++rem) {
+        const bool bbit = wt->bbit_at(rem);
+        tk.base.push_back(
+            pack(task.phase() + wt->deadline_at(rem), bbit,
+                 heavy ? task.phase() + wt->group_deadline_at(rem) : 0));
+        const std::uint64_t up = static_cast<std::uint64_t>(wt->p())
+                                 << shift_d;
+        const std::uint64_t down =
+            (has_tiebreak_fields && heavy && bbit)
+                ? static_cast<std::uint64_t>(wt->p()) << shift_gd
+                : 0;
+        tk.step.push_back(up - down);
+      }
+      // Within one task pseudo-deadlines strictly increase, so the keys
+      // must too; a violation would make two live heap entries
+      // indistinguishable.  Every adjacent-key difference is affine in
+      // the job index, so strict increase across the first e + 1 and
+      // the last e + 1 subtasks (both extreme jobs of every adjacent
+      // position pair) implies strict increase everywhere between.
+      const auto key_at = [&](std::int64_t s) {
+        const std::int64_t job = s / e;
+        const auto rem = static_cast<std::size_t>(s % e);
+        return tk.base[rem] + static_cast<std::uint64_t>(job) * tk.step[rem];
+      };
+      for (std::int64_t s = 1; s < std::min(cnt, e + 1); ++s) {
+        if (key_at(s) <= key_at(s - 1)) distinct = false;
+      }
+      for (std::int64_t s = std::max<std::int64_t>(1, cnt - e - 1); s < cnt;
+           ++s) {
+        if (key_at(s) <= key_at(s - 1)) distinct = false;
       }
     } else {
-      for (std::int64_t s = 0; s < task.num_subtasks(); ++s) {
+      tk.base.reserve(static_cast<std::size_t>(cnt));
+      std::uint64_t prev = 0;
+      for (std::int64_t s = 0; s < cnt; ++s) {
         const Subtask sub = task.subtask_at(s);
-        pack(s, sub.deadline, sub.bbit, sub.group_deadline);
+        const std::uint64_t key =
+            pack(sub.deadline, sub.bbit, sub.group_deadline);
+        if (s > 0 && key <= prev) distinct = false;
+        prev = key;
+        tk.base.push_back(key);
       }
     }
   }
   packable_ = distinct;
-  if (!packable_) keys_.clear();
+  if (!packable_) tasks_.clear();
 }
 
 }  // namespace pfair

@@ -22,6 +22,15 @@
 // when b = 0, PD/PD2 compare neither group deadline nor weight, so both
 // fields are stored as 0 — equal keys exactly where `compare` ties.
 //
+// For flyweight (strictly periodic) tasks the table is compressed to
+// O(e) per task: within a job the per-position fields repeat, and each
+// further job shifts the deadline field up and the group-deadline field
+// down by exactly p, so key(seq) = base[seq % e] + (seq / e) * step[seq
+// % e].  Both the memory and the construction cost become O(sum of e),
+// independent of the horizon — this is what keeps simulator setup out
+// of the cycle fast-forward path's O(prefix + cycle + tail) budget.
+// Materialized (IS/GIS-perturbed) tasks keep the per-subtask table.
+//
 // PF's tie-break walks the successor b-bit string lexicographically and
 // is not a fixed-width tuple; it keeps `compare_pf_bits`.  `packable()`
 // is false for PF (and in the astronomically-unlikely case the summed
@@ -50,24 +59,33 @@ class PackedKeys {
   /// The policy fields alone: mirrors PriorityOrder::compare exactly
   /// (including genuine ties, which map to equal keys).
   [[nodiscard]] std::uint64_t policy_key(const SubtaskRef& ref) const {
-    return keys_[flat(ref)] >> tie_bits_;
+    return order_key(ref) >> tie_bits_;
   }
 
   /// Policy fields plus the task-id tie-break: a strict total order
   /// identical to PriorityOrder::higher over co-ready subtasks (smaller
   /// key = higher priority).
   [[nodiscard]] std::uint64_t order_key(const SubtaskRef& ref) const {
-    return keys_[flat(ref)];
+    const TaskKeys& tk = tasks_[static_cast<std::size_t>(ref.task)];
+    if (tk.e == 0) return tk.base[static_cast<std::size_t>(ref.seq)];
+    const std::int64_t job = ref.seq / tk.e;
+    const auto rem = static_cast<std::size_t>(ref.seq % tk.e);
+    return tk.base[rem] + static_cast<std::uint64_t>(job) * tk.step[rem];
   }
 
  private:
-  [[nodiscard]] std::size_t flat(const SubtaskRef& ref) const {
-    return static_cast<std::size_t>(sys_->flat_index(ref));
-  }
+  /// One task's compressed keys: `e == 0` means `base` holds one key
+  /// per subtask (materialized task); otherwise `base`/`step` hold one
+  /// entry per in-period position.
+  struct TaskKeys {
+    std::int64_t e = 0;
+    std::vector<std::uint64_t> base;
+    std::vector<std::uint64_t> step;
+  };
 
   const TaskSystem* sys_;
   Policy policy_;
-  std::vector<std::uint64_t> keys_;  // task-major flat layout
+  std::vector<TaskKeys> tasks_;
   int tie_bits_ = 0;
   bool packable_ = false;
 };

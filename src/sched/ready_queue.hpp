@@ -37,6 +37,9 @@ class ReadyQueue {
   void reserve(std::size_t n) { heap_.reserve(n); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Drops every entry (cycle fast-forward rebuilds the ready set from
+  /// scratch after a warp — stale refs would otherwise linger forever).
+  void clear() { heap_.clear(); }
 
   void push(const SubtaskRef& ref) {
     heap_.push_back(Entry{packed_ ? keys_->order_key(ref) : 0, ref});

@@ -1,9 +1,19 @@
 // Slot-granularity schedules — the S : tau x N -> {0,1} of Eq. (1),
 // stored as per-subtask placements (SFQ model: every allocation starts on a
 // slot boundary and occupies one whole quantum).
+//
+// Storage is a single calloc-backed cell block over all subtasks, with
+// zero meaning "unscheduled" (slot and proc are stored shifted by +1).
+// Construction therefore costs O(tasks) — the kernel hands back lazily
+// mapped zero pages — and only cells that are actually written ever
+// fault memory in.  That is what keeps the cycle fast-forward path
+// (sched/compressed_schedule.hpp) O(prefix + cycle + tail): a warped
+// run writes a few hundred slots of a multi-million-subtask schedule
+// and never touches the rest.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tasks/task_system.hpp"
@@ -24,14 +34,20 @@ struct SlotPlacement {
 /// A complete SFQ-model schedule for a task system.
 class SlotSchedule {
  public:
-  /// An empty (all-unscheduled) schedule shaped like `sys`.
+  /// An empty (all-unscheduled) schedule shaped like `sys`.  O(tasks):
+  /// the cell block is zero pages until written.
   explicit SlotSchedule(const TaskSystem& sys);
 
-  [[nodiscard]] const SlotPlacement& placement(const SubtaskRef& ref) const;
+  SlotSchedule(const SlotSchedule& o);
+  SlotSchedule& operator=(const SlotSchedule& o);
+  SlotSchedule(SlotSchedule&&) noexcept = default;
+  SlotSchedule& operator=(SlotSchedule&&) noexcept = default;
+
+  [[nodiscard]] SlotPlacement placement(const SubtaskRef& ref) const;
   void place(const SubtaskRef& ref, std::int64_t slot, int proc);
 
-  /// True iff every materialized subtask received a slot.
-  [[nodiscard]] bool complete() const;
+  /// True iff every materialized subtask received a slot.  O(1).
+  [[nodiscard]] bool complete() const { return placed_ == total(); }
 
   /// Number of slots used: 1 + latest occupied slot (0 if empty).
   [[nodiscard]] std::int64_t horizon() const { return horizon_; }
@@ -44,16 +60,27 @@ class SlotSchedule {
   [[nodiscard]] std::vector<SubtaskRef> slot_contents(std::int64_t slot) const;
 
   [[nodiscard]] std::int64_t num_tasks() const {
-    return static_cast<std::int64_t>(placements_.size());
+    return static_cast<std::int64_t>(offsets_.size()) - 1;
   }
   [[nodiscard]] std::int64_t num_subtasks(std::int64_t task) const {
-    return static_cast<std::int64_t>(
-        placements_[static_cast<std::size_t>(task)].size());
+    return offsets_[static_cast<std::size_t>(task) + 1] -
+           offsets_[static_cast<std::size_t>(task)];
   }
 
  private:
-  std::vector<std::vector<SlotPlacement>> placements_;  // [task][seq]
+  /// One subtask's placement, shifted so all-zero bytes == unscheduled.
+  struct Cell {
+    std::int64_t slot_p1 = 0;
+    std::int32_t proc_p1 = 0;
+  };
+
+  [[nodiscard]] std::int64_t total() const { return offsets_.back(); }
+  [[nodiscard]] const Cell& cell(const SubtaskRef& ref) const;
+
+  std::vector<std::int64_t> offsets_;  // [task] -> first cell; sentinel end
+  std::unique_ptr<Cell[], void (*)(Cell*)> cells_;
   std::int64_t horizon_ = 0;
+  std::int64_t placed_ = 0;
 };
 
 }  // namespace pfair

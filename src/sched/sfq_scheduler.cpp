@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sched/compressed_schedule.hpp"
 #include "sched/simulator.hpp"
 
 namespace pfair {
@@ -16,6 +17,14 @@ std::int64_t default_horizon(const TaskSystem& sys) {
 }
 
 SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
+  if (opts.cycle_detect && opts.trace == nullptr && opts.metrics == nullptr) {
+    // The cyclic driver runs the same simulator and warps over proven
+    // recurrences; materializing afterwards reproduces the full run
+    // placement for placement (asserted by tests/cycle_test.cpp).
+    CycleSchedule cyc = schedule_sfq_cyclic(sys, opts);
+    if (cyc.stats().engaged) return cyc.materialize(cyc.horizon());
+    return std::move(cyc).take_stored();
+  }
   const std::int64_t limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
   SfqSimulator sim(sys, opts.policy);

@@ -31,6 +31,12 @@ struct SfqOptions {
   /// Optional metrics registry (not owned); sched.* counters and
   /// histograms accumulate into it (see obs/probe.hpp).
   MetricsRegistry* metrics = nullptr;
+  /// Steady-state cycle detection (sched/compressed_schedule.hpp): skip
+  /// proven-recurring hyperperiods instead of simulating them.  Placements
+  /// are bit-identical either way; the knob exists so A/B tests can force
+  /// the full run.  Automatically off while `trace` or `metrics` is
+  /// attached — instrumented streams are never elided.
+  bool cycle_detect = true;
 };
 
 /// Runs the SFQ scheduler to completion (or to the horizon limit).

@@ -206,6 +206,46 @@ void SfqSimulator::run_until(std::int64_t slot_limit) {
   }
 }
 
+void SfqSimulator::warp(std::int64_t cycles, std::int64_t cycle_slots,
+                        const std::vector<std::int64_t>& cycle_allocs) {
+  PFAIR_REQUIRE(!probe_.enabled(), "warp would skip trace events");
+  PFAIR_REQUIRE(cycles >= 0 && cycle_slots > 0, "bad warp parameters");
+  if (cycles == 0) return;
+  const std::int64_t shift = cycles * cycle_slots;
+  const auto n = static_cast<std::size_t>(sys_->num_tasks());
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int64_t adv = cycles * cycle_allocs[k];
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    PFAIR_REQUIRE(head_[k] + adv <= task.num_subtasks(),
+                  "warp overruns task " << task.name());
+    head_[k] += adv;
+    allocated_[k] += adv;
+    remaining_ -= adv;
+    // The task's most recent quantum moved forward with the cycle; a
+    // task idle through the whole cycle keeps its (pre-t0) last slot.
+    if (adv > 0) last_slot_[k] += shift;
+  }
+  now_ += shift;
+  // Rebuild the availability structures: every queued or bucketed entry
+  // names a pre-warp head seq, so drop them all and re-derive each
+  // task's availability from the counters (exactly as the constructor
+  // and commit_placement would have).
+  ready_q_.clear();
+  std::fill(bucket_head_.begin(), bucket_head_.end(), -1);
+  drained_upto_ = now_ - 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Task& task = sys_->task(static_cast<std::int64_t>(k));
+    if (head_[k] >= task.num_subtasks()) continue;
+    const std::int64_t avail =
+        head_[k] == 0
+            ? std::max<std::int64_t>(task.eligible_at(0), 0)
+            : std::max<std::int64_t>(task.eligible_at(head_[k]),
+                                     last_slot_[k] + 1);
+    mark_available(static_cast<std::int32_t>(k),
+                   std::max<std::int64_t>(avail, now_));
+  }
+}
+
 Rational SfqSimulator::lag_of(std::int64_t task) const {
   const Rational w = sys_->task(task).weight().value();
   return w * Rational(now_) -

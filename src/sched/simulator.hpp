@@ -73,6 +73,33 @@ class SfqSimulator {
   /// drift of task `task` at the current boundary.
   [[nodiscard]] Rational lag_of(std::int64_t task) const;
 
+  /// The system being scheduled.
+  [[nodiscard]] const TaskSystem& system() const { return *sys_; }
+  /// Raw per-task counters, for state fingerprints (sched/state_hash.hpp).
+  [[nodiscard]] std::int64_t head_of(std::int64_t task) const {
+    return head_[static_cast<std::size_t>(task)];
+  }
+  [[nodiscard]] std::int64_t last_slot_of(std::int64_t task) const {
+    return last_slot_[static_cast<std::size_t>(task)];
+  }
+  [[nodiscard]] std::int64_t allocated_of(std::int64_t task) const {
+    return allocated_[static_cast<std::size_t>(task)];
+  }
+  /// True iff a probe (trace sink or metrics) is attached.
+  [[nodiscard]] bool instrumented() const { return probe_.enabled(); }
+
+  /// Fast-forwards `cycles` repetitions of a detected steady-state cycle
+  /// of `cycle_slots` slots in which task k places exactly
+  /// `cycle_allocs[k]` subtasks: counters jump, the availability calendar
+  /// and ready heap are rebuilt, and simulation resumes at
+  /// now() + cycles * cycle_slots as if every skipped slot had been
+  /// stepped.  Callers (sched/compressed_schedule.cpp) are responsible
+  /// for having *proved* the recurrence via fingerprints; the skipped
+  /// placements are never materialized here.  Requires an uninstrumented
+  /// simulator at a slot boundary.
+  void warp(std::int64_t cycles, std::int64_t cycle_slots,
+            const std::vector<std::int64_t>& cycle_allocs);
+
   /// Installs a structured trace sink (not owned; may be null to
   /// uninstall).  With no sink and no metrics attached, step() takes the
   /// uninstrumented path and the schedule produced is bit-identical.

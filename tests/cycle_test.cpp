@@ -1,0 +1,416 @@
+// Steady-state cycle detection and hyperperiod fast-forward.
+//
+// The contract under test: `schedule_sfq_cyclic` / `schedule_dvq_cyclic`
+// produce schedules bit-identical to the naive reference oracles at any
+// horizon — whether or not fast-forward engages — and every downstream
+// consumer (validity, lag, tardiness, the InvariantAuditor via
+// `replay_decisions`) sees a CycleSchedule exactly as it would see the
+// materialized SlotSchedule.  Systems that defeat fingerprinting
+// (phased, IS jitter, Bernoulli yields) must refuse fast-forward and
+// fall back to the plain full run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "analysis/hyperperiod.hpp"
+#include "analysis/lag.hpp"
+#include "analysis/tardiness.hpp"
+#include "analysis/validity.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "dvq/dvq_cycle.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "dvq/reference_scheduler.hpp"
+#include "dvq/yield.hpp"
+#include "obs/audit.hpp"
+#include "sched/compressed_schedule.hpp"
+#include "sched/reference_scheduler.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "sched/state_hash.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_figures.hpp"
+
+namespace pfair {
+namespace {
+
+constexpr Policy kAllPolicies[] = {Policy::kEpdf, Policy::kPf, Policy::kPd,
+                                   Policy::kPd2};
+
+// Deterministic weight pool with all periods dividing 24, so every
+// generated system has hyperperiod H | 24 — horizons crossing 1, 2 and
+// 7.5 hyperperiods are then exact, known multiples.
+constexpr std::int64_t kPool = 24;
+
+// Builds a zero-phase periodic system with H | 24 and subtask coverage
+// of `coverage_cycles` pool periods.  Roughly one third of seeds leave
+// utilization slack (idle slots join the repeating pattern); the rest
+// fill up to exactly M.
+TaskSystem make_cyclic_system(int seed, std::int64_t coverage_cycles) {
+  Rng rng(static_cast<std::uint64_t>(9000 + seed));
+  const int m = 1 + seed % 3;
+  const bool leave_slack = seed % 3 == 0;
+  const std::int64_t horizon = coverage_cycles * kPool;
+  std::vector<Task> tasks;
+  Rational util;
+  const Rational cap =
+      leave_slack ? Rational(m) - Rational(1, 3) : Rational(m);
+  while (util < cap) {
+    const std::int64_t periods[] = {2, 3, 4, 6, 8, 12, 24};
+    const std::int64_t p = periods[rng.uniform(0, 6)];
+    const std::int64_t e = rng.uniform(1, p);
+    if (util + Rational(e, p) > cap) {
+      // Close the gap exactly (cap - util has a denominator dividing 24).
+      const Rational gap = cap - util;
+      const std::int64_t ge = gap.num() * (kPool / gap.den());
+      if (ge >= kPool) break;  // gap >= 1: cannot close with one task
+      tasks.push_back(Task::periodic("G" + std::to_string(tasks.size()),
+                                     Weight(ge, kPool), horizon));
+      util += gap;
+      break;
+    }
+    tasks.push_back(Task::periodic("T" + std::to_string(tasks.size()),
+                                   Weight(e, p), horizon));
+    util += Rational(e, p);
+  }
+  return TaskSystem(std::move(tasks), m);
+}
+
+bool same_sfq(const SlotSchedule& a, const SlotSchedule& b,
+              const TaskSystem& sys, std::string* why) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t t = 0; t < sys.task(k).num_subtasks(); ++t) {
+      const SubtaskRef ref{k, t};
+      const SlotPlacement& pa = a.placement(ref);
+      const SlotPlacement& pb = b.placement(ref);
+      if (pa.slot != pb.slot || pa.proc != pb.proc) {
+        std::ostringstream os;
+        os << ref << ": slot " << pa.slot << "/proc " << pa.proc << " vs "
+           << pb.slot << "/" << pb.proc;
+        *why = os.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_dvq(const DvqSchedule& a, const DvqSchedule& b,
+              const TaskSystem& sys, std::string* why) {
+  for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
+    for (std::int32_t t = 0; t < sys.task(k).num_subtasks(); ++t) {
+      const SubtaskRef ref{k, t};
+      const DvqPlacement& pa = a.placement(ref);
+      const DvqPlacement& pb = b.placement(ref);
+      if (pa.start != pb.start || pa.cost != pb.cost || pa.proc != pb.proc) {
+        std::ostringstream os;
+        os << ref << ": start " << pa.start.raw_ticks() << "/proc "
+           << pa.proc << " vs " << pb.start.raw_ticks() << "/" << pb.proc;
+        *why = os.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct FailureLog {
+  std::mutex mu;
+  std::atomic<int> count{0};
+  std::string first;
+
+  void record(const std::string& what) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    if (first.empty()) first = what;
+  }
+};
+
+// The tentpole property: 100 seeded systems, horizons crossing 1, 2 and
+// 7.5 hyperperiods, cyclic path vs naive reference, bit-identical.  The
+// 2x and 7.5x horizons must actually engage fast-forward (H | 24 and
+// coverage leaves room to skip at least one whole cycle).
+TEST(CycleFastForward, SfqMatchesReferenceAcrossHorizons) {
+  // Horizons as multiples of kPool (a multiple of every H): 1, 2, 7.5.
+  const std::int64_t horizons[] = {kPool, 2 * kPool, 15 * kPool / 2};
+  FailureLog failures;
+  std::atomic<int> engaged_runs{0};
+  global_pool().parallel_for(0, 100, [&](std::int64_t i) {
+    const int seed = static_cast<int>(i);
+    const TaskSystem sys = make_cyclic_system(seed, 10);
+    SfqOptions opts;
+    opts.policy = kAllPolicies[seed % 4];
+    // EPDF is only optimal on <= 2 processors; a deadline miss perturbs
+    // the lag state and recurrence legitimately may not show up.  Keep
+    // the engagement assertion sharp by using an optimal policy there.
+    if (opts.policy == Policy::kEpdf && sys.processors() > 2) {
+      opts.policy = Policy::kPd2;
+    }
+    for (const std::int64_t h : horizons) {
+      opts.horizon_limit = h;
+      const std::string tag =
+          "seed " + std::to_string(seed) + " h=" + std::to_string(h);
+      const SlotSchedule ref = schedule_sfq_reference(sys, opts);
+      const CycleSchedule cyc = schedule_sfq_cyclic(sys, opts);
+      std::string why;
+      if (!same_sfq(ref, cyc.materialize(h), sys, &why)) {
+        failures.record(tag + " materialized: " + why);
+      }
+      // The public entry point routes through the same machinery.
+      if (!same_sfq(ref, schedule_sfq(sys, opts), sys, &why)) {
+        failures.record(tag + " schedule_sfq: " + why);
+      }
+      if (h >= 2 * kPool) {
+        if (!cyc.stats().engaged) {
+          failures.record(tag + ": expected fast-forward to engage");
+        } else {
+          engaged_runs.fetch_add(1, std::memory_order_relaxed);
+          if (cyc.stats().sim_slots + cyc.stats().slots_skipped <
+              cyc.stats().detect_slot) {
+            failures.record(tag + ": inconsistent cycle stats");
+          }
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+  EXPECT_GE(engaged_runs.load(), 190);  // 2 long horizons x ~100 seeds
+}
+
+TEST(CycleFastForward, DvqMatchesReferenceAcrossHorizons) {
+  const std::int64_t horizons[] = {kPool, 2 * kPool, 15 * kPool / 2};
+  FailureLog failures;
+  std::atomic<int> engaged_runs{0};
+  global_pool().parallel_for(0, 100, [&](std::int64_t i) {
+    const int seed = static_cast<int>(i);
+    const TaskSystem sys = make_cyclic_system(seed, 10);
+    // Deterministic-periodic yield models only; Bernoulli is the refusal
+    // case below.
+    const FullQuantumYield full;
+    const FixedYield fixed(kQuantum - kTick);
+    const FractionalTailYield tail(Time::ticks(kTicksPerSlot / 2));
+    const YieldModel* yields[] = {&full, &fixed, &tail};
+    const YieldModel& y = *yields[seed % 3];
+    DvqOptions opts;
+    opts.policy = kAllPolicies[seed % 4];
+    for (const std::int64_t h : horizons) {
+      opts.horizon_limit = h;
+      const std::string tag =
+          "seed " + std::to_string(seed) + " h=" + std::to_string(h);
+      const DvqSchedule ref = schedule_dvq_reference(sys, y, opts);
+      const DvqCycleSchedule cyc = schedule_dvq_cyclic(sys, y, opts);
+      std::string why;
+      if (!same_dvq(ref, cyc.materialize(h), sys, &why)) {
+        failures.record(tag + " materialized: " + why);
+      }
+      if (!same_dvq(ref, schedule_dvq(sys, y, opts), sys, &why)) {
+        failures.record(tag + " schedule_dvq: " + why);
+      }
+      if (h >= 2 * kPool && cyc.stats().engaged) {
+        engaged_runs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+  EXPECT_GE(engaged_runs.load(), 60);
+}
+
+// A hand-built fully utilized system must deterministically engage in
+// both models.
+TEST(CycleFastForward, DeterministicEngagement) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task::periodic("A", Weight(1, 2), 10 * kPool));
+  tasks.push_back(Task::periodic("B", Weight(1, 2), 10 * kPool));
+  const TaskSystem sys(std::move(tasks), 1);
+
+  SfqOptions sopts;
+  sopts.horizon_limit = 6 * kPool;
+  const CycleSchedule sc = schedule_sfq_cyclic(sys, sopts);
+  ASSERT_TRUE(sc.stats().engaged);
+  EXPECT_GT(sc.stats().slots_skipped, 0);
+  EXPECT_LT(sc.stats().sim_slots, 6 * kPool);
+
+  const FullQuantumYield y;
+  DvqOptions dopts;
+  dopts.horizon_limit = 6 * kPool;
+  const DvqCycleSchedule dc = schedule_dvq_cyclic(sys, y, dopts);
+  ASSERT_TRUE(dc.stats().engaged);
+  EXPECT_GT(dc.stats().slots_skipped, 0);
+}
+
+// Systems that defeat exact fingerprinting must refuse fast-forward and
+// fall back to the plain full run, bit-identically.
+TEST(CycleFastForward, RefusesAndFallsBackCleanly) {
+  for (int seed = 0; seed < 12; ++seed) {
+    SfqOptions opts;
+    opts.policy = kAllPolicies[seed % 4];
+    opts.horizon_limit = 6 * kPool;
+
+    // Phased: release anchors cannot recur at hyperperiod boundaries.
+    TaskSystem base = make_cyclic_system(seed, 8);
+    std::vector<Task> phased_tasks;
+    for (std::int32_t k = 0; k < base.num_tasks(); ++k) {
+      const Task& t = base.task(k);
+      phased_tasks.push_back(Task::periodic_phased(
+          t.name(), t.weight(), 1 + k % 2, 8 * kPool + 2));
+    }
+    const TaskSystem phased(std::move(phased_tasks), base.processors());
+    const CycleSchedule pc = schedule_sfq_cyclic(phased, opts);
+    EXPECT_FALSE(pc.stats().engaged) << "seed " << seed;
+    std::string why;
+    ASSERT_TRUE(same_sfq(schedule_sfq_reference(phased, opts),
+                         schedule_sfq(phased, opts), phased, &why))
+        << "seed " << seed << ": " << why;
+
+    // IS jitter: sporadic task kinds are not fingerprintable.
+    const TaskSystem jittered = add_is_jitter(
+        make_cyclic_system(seed, 8), 3, 1, 3,
+        static_cast<std::uint64_t>(seed));
+    const CycleSchedule jc = schedule_sfq_cyclic(jittered, opts);
+    EXPECT_FALSE(jc.stats().engaged) << "seed " << seed;
+    ASSERT_TRUE(same_sfq(schedule_sfq_reference(jittered, opts),
+                         schedule_sfq(jittered, opts), jittered, &why))
+        << "seed " << seed << ": " << why;
+
+    // Bernoulli yields: costs are not a periodic function of the seq,
+    // so the DVQ detector must not engage even on a periodic system.
+    const TaskSystem sys = make_cyclic_system(seed, 8);
+    const BernoulliYield bern(static_cast<std::uint64_t>(seed) * 31 + 7, 1,
+                              2, kTick, kQuantum - kTick);
+    DvqOptions dopts;
+    dopts.policy = kAllPolicies[seed % 4];
+    dopts.horizon_limit = 6 * kPool;
+    const DvqCycleSchedule bc = schedule_dvq_cyclic(sys, bern, dopts);
+    EXPECT_FALSE(bc.stats().engaged) << "seed " << seed;
+    ASSERT_TRUE(same_dvq(schedule_dvq_reference(sys, bern, dopts),
+                         schedule_dvq(sys, bern, dopts), sys, &why))
+        << "seed " << seed << ": " << why;
+  }
+}
+
+// Instrumented runs never fast-forward: the cyclic driver itself falls
+// back when a trace sink or metrics registry is attached, so trace
+// streams are never elided.
+TEST(CycleFastForward, InstrumentedRunsNeverEngage) {
+  const TaskSystem sys = make_cyclic_system(1, 8);
+  SfqOptions opts;
+  opts.horizon_limit = 6 * kPool;
+  ASSERT_TRUE(schedule_sfq_cyclic(sys, opts).stats().engaged);
+
+  InvariantAuditor audit(sys);
+  SfqOptions iopts = opts;
+  iopts.trace = &audit;
+  EXPECT_FALSE(schedule_sfq_cyclic(sys, iopts).stats().engaged);
+  EXPECT_TRUE(audit.clean()) << audit.findings().front().str();
+}
+
+// Every analysis consumes the CycleSchedule unchanged: identical
+// verdicts to the materialized schedule, and the InvariantAuditor
+// replayed from the compressed representation reports zero findings.
+TEST(CycleFastForward, AnalysesAndAuditorConsumeCycleSchedule) {
+  for (int seed = 0; seed < 16; ++seed) {
+    const TaskSystem sys = make_cyclic_system(seed, 8);
+    SfqOptions opts;
+    opts.policy = kAllPolicies[seed % 4];
+    if (opts.policy == Policy::kEpdf && sys.processors() > 2) {
+      opts.policy = Policy::kPd2;
+    }
+    opts.horizon_limit = 6 * kPool;
+    const CycleSchedule cyc = schedule_sfq_cyclic(sys, opts);
+    ASSERT_TRUE(cyc.stats().engaged) << "seed " << seed;
+    const SlotSchedule flat = cyc.materialize(cyc.horizon());
+
+    // Validity: same verdict, same violation count.
+    const ValidityReport vr_c = check_slot_schedule(sys, cyc);
+    const ValidityReport vr_f = check_slot_schedule(sys, flat);
+    EXPECT_EQ(vr_c.valid(), vr_f.valid()) << "seed " << seed;
+    EXPECT_EQ(vr_c.violations.size(), vr_f.violations.size());
+
+    // Lag: identical extrema over the full horizon, and Pfairness holds
+    // either way.
+    const std::int64_t h = cyc.horizon();
+    const LagRange lr_c = lag_range(sys, cyc, h);
+    const LagRange lr_f = lag_range(sys, flat, h);
+    EXPECT_TRUE(lr_c.min == lr_f.min && lr_c.max == lr_f.max)
+        << "seed " << seed;
+    EXPECT_EQ(is_pfair(sys, cyc, h), is_pfair(sys, flat, h));
+    EXPECT_TRUE(lag(sys, cyc, 0, h / 2) == lag(sys, flat, 0, h / 2));
+
+    // Tardiness: identical summaries and value vectors.
+    const TardinessSummary ts_c = measure_tardiness(sys, cyc);
+    const TardinessSummary ts_f = measure_tardiness(sys, flat);
+    EXPECT_EQ(ts_c.max_ticks, ts_f.max_ticks) << "seed " << seed;
+    EXPECT_EQ(ts_c.total_ticks, ts_f.total_ticks);
+    EXPECT_EQ(ts_c.late_subtasks, ts_f.late_subtasks);
+    EXPECT_EQ(ts_c.unscheduled, ts_f.unscheduled);
+    EXPECT_EQ(tardiness_values_ticks(sys, cyc),
+              tardiness_values_ticks(sys, flat));
+
+    // The auditor accepts a CycleSchedule-backed run with zero findings.
+    InvariantAuditor audit(sys);
+    replay_decisions(sys, cyc, audit);
+    EXPECT_TRUE(audit.clean())
+        << "seed " << seed << ": " << audit.total_findings() << " findings, "
+        << (audit.findings().empty() ? std::string("<none stored>")
+                                     : audit.findings().front().str());
+
+    // slot_contents agrees inside the synthesized window.
+    const std::int64_t probe =
+        cyc.stats().detect_slot + cyc.stats().slots_skipped / 2;
+    EXPECT_EQ(cyc.slot_contents(probe), flat.slot_contents(probe))
+        << "seed " << seed;
+  }
+}
+
+// DVQ analyses likewise: validity and tardiness on the compressed
+// schedule match the materialized run.
+TEST(CycleFastForward, DvqAnalysesConsumeCycleSchedule) {
+  for (int seed = 0; seed < 8; ++seed) {
+    const TaskSystem sys = make_cyclic_system(seed, 8);
+    const FullQuantumYield y;
+    DvqOptions opts;
+    opts.horizon_limit = 6 * kPool;
+    const DvqCycleSchedule cyc = schedule_dvq_cyclic(sys, y, opts);
+    if (!cyc.stats().engaged) continue;
+    const DvqSchedule flat = cyc.materialize(opts.horizon_limit);
+
+    const ValidityReport vr_c = check_dvq_schedule(sys, cyc, kQuantum);
+    const ValidityReport vr_f = check_dvq_schedule(sys, flat, kQuantum);
+    EXPECT_EQ(vr_c.valid(), vr_f.valid()) << "seed " << seed;
+    EXPECT_EQ(vr_c.violations.size(), vr_f.violations.size());
+
+    const TardinessSummary ts_c = measure_tardiness(sys, cyc);
+    const TardinessSummary ts_f = measure_tardiness(sys, flat);
+    EXPECT_EQ(ts_c.max_ticks, ts_f.max_ticks) << "seed " << seed;
+    EXPECT_EQ(ts_c.total_ticks, ts_f.total_ticks);
+    EXPECT_EQ(tardiness_values_ticks(sys, cyc),
+              tardiness_values_ticks(sys, flat));
+  }
+}
+
+// The generalized periodicity check and the online detector agree: a
+// system whose schedule the offline check certifies periodic is one the
+// online detector fast-forwards.
+TEST(CycleFastForward, OfflineCheckAgreesWithOnlineDetector) {
+  for (int seed = 0; seed < 12; ++seed) {
+    const TaskSystem sys = make_cyclic_system(seed, 8);
+    SfqOptions opts;
+    opts.policy =
+        sys.processors() > 2 ? Policy::kPd2 : kAllPolicies[seed % 4];
+    opts.horizon_limit = 6 * kPool;
+    opts.cycle_detect = false;  // the offline check needs the full run
+    const SlotSchedule full = schedule_sfq(sys, opts);
+    const PeriodicityReport rep = check_schedule_periodicity(sys, full);
+    ASSERT_TRUE(rep.applicable) << "seed " << seed;
+    EXPECT_TRUE(rep.periodic) << "seed " << seed;
+
+    opts.cycle_detect = true;
+    EXPECT_TRUE(schedule_sfq_cyclic(sys, opts).stats().engaged)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pfair

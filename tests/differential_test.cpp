@@ -94,15 +94,17 @@ TEST(Differential, SwitchingStatsAgainstNaiveRecount) {
   // Naive recount of migrations and job breaks.
   std::int64_t migrations = 0, breaks = 0, subtasks = 0;
   for (std::int32_t k = 0; k < sys.num_tasks(); ++k) {
-    const SlotPlacement* prev = nullptr;
+    SlotPlacement prev;
+    bool has_prev = false;
     for (std::int32_t s = 0; s < sys.task(k).num_subtasks(); ++s) {
-      const SlotPlacement& p = sched.placement(SubtaskRef{k, s});
+      const SlotPlacement p = sched.placement(SubtaskRef{k, s});
       ++subtasks;
-      if (prev != nullptr) {
-        if (p.proc != prev->proc) ++migrations;
-        if (p.slot != prev->slot + 1) ++breaks;
+      if (has_prev) {
+        if (p.proc != prev.proc) ++migrations;
+        if (p.slot != prev.slot + 1) ++breaks;
       }
-      prev = &p;
+      prev = p;
+      has_prev = true;
     }
   }
   EXPECT_EQ(st.subtasks, subtasks);

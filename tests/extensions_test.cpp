@@ -53,20 +53,36 @@ TEST(Hyperperiod, Pd2ScheduleRepeats) {
   }
 }
 
-TEST(Hyperperiod, NotApplicableCases) {
-  // Under-utilized system: not applicable (idle pattern need not repeat).
+TEST(Hyperperiod, UnderUtilizedSystemsAreNowCovered) {
+  // Utilization < M: idle slots are part of the repeating pattern, so the
+  // fingerprint-based check applies where the old slot-set check bailed.
   std::vector<Task> tasks;
   tasks.push_back(Task::periodic("A", Weight(1, 2), 8));
   const TaskSystem slack(std::move(tasks), 2);
   const SlotSchedule sched = schedule_sfq(slack);
-  EXPECT_FALSE(check_schedule_periodicity(slack, sched).applicable);
+  const PeriodicityReport rep = check_schedule_periodicity(slack, sched);
+  EXPECT_TRUE(rep.applicable);
+  EXPECT_TRUE(rep.periodic);
+  EXPECT_FALSE(rep.fully_utilized);
+  EXPECT_EQ(rep.prefix_slots, 0);
+}
 
+TEST(Hyperperiod, NotApplicableCases) {
   // Too-short schedule: not applicable.
   std::vector<Task> t2;
   t2.push_back(Task::periodic("A", Weight(1, 1), 1));
   const TaskSystem brief(std::move(t2), 1);
   EXPECT_FALSE(
       check_schedule_periodicity(brief, schedule_sfq(brief)).applicable);
+
+  // Phased system: release anchors carry state the fingerprint cannot
+  // normalize away — refused.
+  std::vector<Task> t3;
+  t3.push_back(Task::periodic_phased("A", Weight(1, 2), 1, 9));
+  t3.push_back(Task::periodic("B", Weight(1, 2), 8));
+  const TaskSystem phased(std::move(t3), 2);
+  EXPECT_FALSE(
+      check_schedule_periodicity(phased, schedule_sfq(phased)).applicable);
 }
 
 // ------------------------------------------------------------------ export

@@ -1,0 +1,73 @@
+// Sweep-harness reducers and thread-pool grain selection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "../bench/sweep.hpp"
+
+namespace pfair {
+namespace {
+
+// Regression: a default-constructed MaxReducer has identity 0, which
+// silently masked all-negative sample sets.  The explicit identity makes
+// the maximum exact there.
+TEST(MaxReducer, ExplicitIdentityHandlesAllNegativeSamples) {
+  bench::MaxReducer wrong;  // historical behavior: identity 0
+  bench::MaxReducer right(std::numeric_limits<std::int64_t>::min());
+  for (const std::int64_t v : {-7, -3, -12}) {
+    wrong.raise(v);
+    right.raise(v);
+  }
+  EXPECT_EQ(wrong.get(), 0);  // the bug this guards against
+  EXPECT_EQ(right.get(), -3);
+}
+
+TEST(MaxReducer, IdentityReportedWhenNothingRaised) {
+  bench::MaxReducer m(-100);
+  EXPECT_EQ(m.get(), -100);
+  m.raise(-200);  // below identity: ignored
+  EXPECT_EQ(m.get(), -100);
+  m.raise(5);
+  EXPECT_EQ(m.get(), 5);
+}
+
+TEST(MaxReducer, RacesBenignlyUnderThePool) {
+  bench::MaxReducer m(std::numeric_limits<std::int64_t>::min());
+  global_pool().parallel_for(0, 10000,
+                             [&](std::int64_t i) { m.raise(i - 5000); });
+  EXPECT_EQ(m.get(), 4999);
+}
+
+// The automatic grain (grain == 0) must still run every index exactly
+// once, for ranges smaller and larger than 8 * workers.
+TEST(ThreadPoolGrain, AutoGrainCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (const std::int64_t n : {1, 7, 31, 32, 1000}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    pool.parallel_for(0, n, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "n=" << n;
+  }
+}
+
+TEST(ThreadPoolGrain, ExplicitGrainStillHonored) {
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(
+      0, 100, [&](std::int64_t i) { sum.fetch_add(i); }, 17);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolGrain, SweepSeedsUsesAutoGrain) {
+  std::atomic<std::int64_t> n{0};
+  bench::sweep_seeds(500, 0x9e3779b9u, 42,
+                     [&](std::uint64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 500);
+}
+
+}  // namespace
+}  // namespace pfair

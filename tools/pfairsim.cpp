@@ -27,10 +27,19 @@
 //                              printed and force a nonzero exit
 //   --capture=<path>           with --audit: on the first finding, write a
 //                              shrunk replayable pfair-capture-v1 bundle
+//   --fast-forward             detect the steady-state cycle and skip
+//                              whole hyperperiods instead of simulating
+//                              them (sfq and dvq; exact — the result is
+//                              bit-identical to the full run).  Prints
+//                              the detected prefix/cycle split.
 //   --quiet                    suppress the rendered schedule
 //
 // --trace/--metrics/--chrome-trace/--audit cover sfq and dvq; the
-// staggered model keeps its own loop and is not instrumented.
+// staggered model keeps its own loop and is not instrumented.  Under
+// --fast-forward the sfq trace/audit sinks are fed by replaying the
+// decision stream of the compressed schedule (--metrics still needs a
+// live run and is ignored); the dvq fast-forward path has no replay, so
+// observability flags are ignored there.
 //
 // The task file format is documented in src/io/parse.hpp.
 #include <fstream>
@@ -57,6 +66,7 @@ struct CliOptions {
   std::string svg_path;
   std::string capture_path;
   bool audit = false;
+  bool fast_forward = false;
   bool quiet = false;
   bool demo = false;
   std::string demo_name = "fig6";
@@ -72,8 +82,8 @@ struct CliOptions {
                "                [--trace=PATH] [--chrome-trace=PATH] "
                "[--metrics=PATH]\n"
                "                [--svg=PATH] [--audit] [--capture=PATH] "
-               "[--quiet]\n"
-               "                (<taskfile> | --demo[=NAME])\n"
+               "[--fast-forward]\n"
+               "                [--quiet] (<taskfile> | --demo[=NAME])\n"
                "demo names: " << figure_scenario_names() << "\n";
   std::exit(2);
 }
@@ -133,6 +143,8 @@ CliOptions parse_cli(int argc, char** argv) {
       o.audit = true;
     } else if (arg == "--audit") {
       o.audit = true;
+    } else if (arg == "--fast-forward") {
+      o.fast_forward = true;
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "--demo") {
@@ -205,6 +217,17 @@ CaptureBundle::YieldSpec yield_spec_for_capture(const CliOptions& o,
   return spec;
 }
 
+void print_cycle_stats(const CycleStats& st) {
+  if (st.engaged) {
+    std::cout << "fast-forward: prefix " << st.prefix_slots << " + cycle "
+              << st.cycle_slots << " slots x " << st.cycles_skipped
+              << " skipped (" << st.slots_skipped << " slots); "
+              << st.sim_slots << " slots simulated\n";
+  } else {
+    std::cout << "fast-forward: did not engage; full simulation\n";
+  }
+}
+
 int run(const CliOptions& o) {
   std::optional<TaskSystem> sys;
   std::shared_ptr<ScriptedYield> demo_yields;
@@ -245,18 +268,37 @@ int run(const CliOptions& o) {
   // additionally records a replayable counterexample bundle).  The
   // staggered model runs its own loop and supports none of them.
   const bool stag = o.model == CliOptions::Model::kStaggered;
+  const bool dvq_ff = o.fast_forward && o.model == CliOptions::Model::kDvq;
   const bool wants_obs = !o.trace_path.empty() || !o.chrome_path.empty() ||
                          !o.metrics_path.empty() || o.audit;
   if (stag && wants_obs) {
     std::cerr << "pfairsim: warning: --trace/--chrome-trace/--metrics/"
                  "--audit are not supported for --model=stag; ignoring\n";
   }
+  if (stag && o.fast_forward) {
+    std::cerr << "pfairsim: warning: --fast-forward is not supported for "
+                 "--model=stag; ignoring\n";
+  }
+  if (dvq_ff && wants_obs) {
+    std::cerr << "pfairsim: warning: the dvq fast-forward path has no "
+                 "decision replay; ignoring --trace/--chrome-trace/"
+                 "--metrics/--audit\n";
+  }
+  if (o.fast_forward && o.model == CliOptions::Model::kSfq &&
+      !o.metrics_path.empty()) {
+    std::cerr << "pfairsim: warning: --metrics needs a live instrumented "
+                 "run; ignoring it under --fast-forward\n";
+  }
+  // Observability sinks are built for live sfq/dvq runs and for the sfq
+  // fast-forward path (fed by decision replay).  --metrics counts
+  // scheduler internals a replay cannot reconstruct, so it is live-only.
+  const bool obs = !stag && !dvq_ff;
   MetricsRegistry reg;
   MetricsRegistry* metrics =
-      !stag && !o.metrics_path.empty() ? &reg : nullptr;
+      obs && !o.fast_forward && !o.metrics_path.empty() ? &reg : nullptr;
   std::ofstream trace_f;
   std::unique_ptr<JsonlSink> jsonl;
-  if (!stag && !o.trace_path.empty()) {
+  if (obs && !o.trace_path.empty()) {
     trace_f.open(o.trace_path);
     if (!trace_f) {
       std::cerr << "pfairsim: cannot open " << o.trace_path << "\n";
@@ -265,7 +307,7 @@ int run(const CliOptions& o) {
     jsonl = std::make_unique<JsonlSink>(trace_f);
   }
   std::unique_ptr<RingBufferSink> ring;
-  if (!stag && !o.chrome_path.empty()) {
+  if (obs && !o.chrome_path.empty()) {
     // With --metrics the ring also publishes its drop count.
     ring = metrics != nullptr
                ? std::make_unique<RingBufferSink>(std::size_t{1} << 18, reg)
@@ -273,7 +315,7 @@ int run(const CliOptions& o) {
   }
   std::unique_ptr<InvariantAuditor> auditor;
   std::unique_ptr<CounterexampleRecorder> recorder;
-  if (!stag && o.audit) {
+  if (obs && o.audit) {
     auditor = std::make_unique<InvariantAuditor>(*sys);
     if (metrics != nullptr) auditor->attach_metrics(reg);
     if (!o.capture_path.empty()) {
@@ -310,9 +352,19 @@ int run(const CliOptions& o) {
   if (o.model == CliOptions::Model::kSfq) {
     SfqOptions so;
     so.policy = o.policy;
-    so.trace = sink;
-    so.metrics = metrics;
-    const SlotSchedule sched = schedule_sfq(*sys, so);
+    const SlotSchedule sched = [&]() -> SlotSchedule {
+      if (!o.fast_forward) {
+        so.trace = sink;
+        so.metrics = metrics;
+        return schedule_sfq(*sys, so);
+      }
+      // Compressed run first; the trace/audit sinks then see the exact
+      // decision stream replayed from the compressed schedule.
+      const CycleSchedule cyc = schedule_sfq_cyclic(*sys, so);
+      print_cycle_stats(cyc.stats());
+      if (sink != nullptr) replay_decisions(*sys, cyc, *sink);
+      return cyc.materialize(cyc.horizon());
+    }();
     if (!o.quiet) {
       std::cout << render_slot_schedule(*sys, sched) << "\n\n";
     }
@@ -334,10 +386,18 @@ int run(const CliOptions& o) {
       f << render_slot_schedule_svg(*sys, sched);
     }
   } else {
-    DvqSchedule sched = [&] {
+    DvqSchedule sched = [&]() -> DvqSchedule {
       if (o.model == CliOptions::Model::kDvq) {
         DvqOptions dopts;
         dopts.policy = o.policy;
+        if (o.fast_forward) {
+          const DvqCycleSchedule cyc =
+              schedule_dvq_cyclic(*sys, *yields, dopts);
+          print_cycle_stats(cyc.stats());
+          const std::int64_t slots =
+              cyc.makespan().raw_ticks() / kTicksPerSlot + 1;
+          return cyc.materialize(slots);
+        }
         dopts.trace = sink;
         dopts.metrics = metrics;
         return schedule_dvq(*sys, *yields, dopts);
