@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "io/json.hpp"
+#include "io/prometheus.hpp"
 
 #ifndef PFAIR_GIT_DESCRIBE
 #define PFAIR_GIT_DESCRIBE "unknown"
@@ -94,6 +95,13 @@ std::string bench_report_json(const BenchReport& report) {
     }
   }
   os << "],\n";
+  os << R"(  "profile": )";
+  if (report.profiled) {
+    os << profile_to_json(report.profile, 2);
+  } else {
+    os << "null";
+  }
+  os << ",\n";
   os << R"(  "metrics": )";
   if (report.ctx != nullptr) {
     os << metrics_to_json(report.ctx->metrics().snapshot(), 2);
@@ -128,15 +136,25 @@ int bench_main(int argc, char** argv, const char* name,
   const std::string bench_name = name;
   const std::string json_path = extract_json_flag(argc, argv, bench_name);
   std::size_t repeat = 1;
+  bool profile = false;
+  std::string prom_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--repeat=", 0) == 0) {
       repeat = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::atoll(argv[i] + std::strlen("--repeat="))));
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--prom") {
+      prom_path = "BENCH_" + bench_name + ".prom";
+    } else if (arg.rfind("--prom=", 0) == 0) {
+      prom_path = std::string(arg.substr(std::strlen("--prom=")));
+      if (prom_path.empty()) prom_path = "BENCH_" + bench_name + ".prom";
     } else {
       std::cerr << "usage: bench_" << bench_name
-                << " [--json[=PATH]] [--repeat=N]\n";
+                << " [--json[=PATH]] [--prom[=PATH]] [--profile]"
+                   " [--repeat=N]\n";
       return 2;
     }
   }
@@ -146,16 +164,44 @@ int bench_main(int argc, char** argv, const char* name,
   std::unique_ptr<BenchContext> ctx;
   for (std::size_t rep = 0; rep < repeat; ++rep) {
     // Fresh context per repetition: metrics describe one run, not an
-    // accumulation over all of them.
+    // accumulation over all of them.  Same for the profiler: the
+    // report's profile covers exactly the final repetition.
     auto fresh = std::make_unique<BenchContext>();
+    fresh->set_profiling(profile);
+    prof::Profiler profiler;
     const auto t0 = std::chrono::steady_clock::now();
-    report.exit_code = fn(*fresh);
+    {
+      prof::ProfScope scope(profile ? &profiler : nullptr);
+      report.exit_code = fn(*fresh);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     report.wall_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (profile) {
+      report.profiled = true;
+      report.profile = profiler.snapshot();
+      prof::publish_profile(report.profile, fresh->metrics());
+    }
     ctx = std::move(fresh);
   }
   report.ctx = ctx.get();
+  if (report.profiled) {
+    std::cerr << "bench_" << bench_name << ": profile ("
+              << report.profile.clock << ")\n"
+              << report.profile.table();
+  }
+
+  if (!prom_path.empty() && ctx != nullptr) {
+    std::ofstream out(prom_path);
+    if (!out) {
+      std::cerr << "bench_" << bench_name << ": cannot open " << prom_path
+                << " for writing\n";
+      return 2;
+    }
+    out << metrics_to_prometheus(ctx->metrics().snapshot());
+    std::cerr << "bench_" << bench_name << ": metrics written to "
+              << prom_path << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

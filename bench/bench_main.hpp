@@ -11,12 +11,19 @@
 //                   BENCH_<name>.json in the working directory)
 //   --repeat=N      run the body N times; wall-clock min/median/max
 //                   over the repetitions land in the report
+//   --profile       run each repetition under the self-profiler; the
+//                   final repetition's per-phase breakdown lands in the
+//                   report's "profile" section and (as prof.* counters)
+//                   in its metrics snapshot
+//   --prom[=PATH]   dump the final metrics snapshot in Prometheus text
+//                   format (default BENCH_<name>.prom)
 //
 // The report schema ("pfair-bench-v1") bundles the exit code, wall
 // times, any scalar values the bench recorded via `ctx.value()`, the
-// per-case timings (google-benchmark benches), and a full metrics
-// snapshot, plus `git describe` metadata captured at configure time —
-// enough to diff two runs of the same bench across commits.
+// per-case timings (google-benchmark benches), an optional profile
+// section, and a full metrics snapshot, plus `git describe` metadata
+// captured at configure time — enough to diff two runs of the same
+// bench across commits (see tools/pfairstat.cpp).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace pfair::bench {
 
@@ -55,10 +63,17 @@ class BenchContext {
   }
   [[nodiscard]] const std::vector<BenchCase>& cases() const { return cases_; }
 
+  /// True when the harness runs this repetition under --profile; benches
+  /// can key extra self-measurement off it (e.g. the scaling bench's
+  /// profiler-overhead assertion).
+  [[nodiscard]] bool profiling() const { return profiling_; }
+  void set_profiling(bool p) { profiling_ = p; }
+
  private:
   MetricsRegistry metrics_;
   std::vector<std::pair<std::string, double>> values_;
   std::vector<BenchCase> cases_;
+  bool profiling_ = false;
 };
 
 /// Everything the report serializer needs about one finished run.
@@ -67,6 +82,8 @@ struct BenchReport {
   int exit_code = 0;            ///< from the final repetition
   std::vector<double> wall_ms;  ///< one entry per repetition
   const BenchContext* ctx = nullptr;  ///< final repetition's context
+  bool profiled = false;              ///< ran under --profile
+  prof::ProfileSnapshot profile;      ///< final repetition's spans
 };
 
 /// Serializes a report in the pfair-bench-v1 schema.

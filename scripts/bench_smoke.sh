@@ -8,7 +8,8 @@ BUILD="${1:-build-rel}"
 
 cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
-  bench_fig2_models bench_table1_pdb bench_micro_sched >/dev/null
+  bench_fig2_models bench_table1_pdb bench_micro_sched bench_scaling \
+  pfairsim >/dev/null
 
 OUT="$BUILD/bench-reports"
 mkdir -p "$OUT"
@@ -20,6 +21,18 @@ mkdir -p "$OUT"
 # the report path.
 "$BUILD/bench/bench_micro_sched" --json="$OUT/BENCH_micro_sched.json" \
   --benchmark_filter=BM_WindowMath >/dev/null 2>&1
+# One profiled run: fills the report's "profile" section, writes a
+# Prometheus dump, and arms the bench's own < 1.05x span-overhead shape
+# check (the whole bench exits nonzero if profiling costs too much).
+"$BUILD/bench/bench_scaling" --profile \
+  --json="$OUT/BENCH_scaling_profiled.json" \
+  --prom="$OUT/BENCH_scaling_profiled.prom" >/dev/null
+# A profiled simulator run for the artifact bundle: chrome trace (with
+# the profiler span track) plus Prometheus / JSON metrics expositions.
+"$BUILD/tools/pfairsim" --demo=fig6 --profile --quiet \
+  --chrome-trace="$OUT/fig6_chrome_trace.json" \
+  --metrics="$OUT/fig6_metrics.json" \
+  --prom="$OUT/fig6_metrics.prom" >/dev/null
 
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT"/BENCH_*.json <<'EOF'
@@ -29,12 +42,17 @@ for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
     for key in ("schema", "bench", "git", "ok", "exit_code", "repetitions",
-                "wall_ms", "values", "cases", "metrics"):
+                "wall_ms", "values", "cases", "profile", "metrics"):
         assert key in doc, f"{path}: missing {key!r}"
     assert doc["schema"] == "pfair-bench-v1", f"{path}: bad schema"
     for key in ("min", "median", "max", "all"):
         assert key in doc["wall_ms"], f"{path}: wall_ms missing {key!r}"
     assert doc["ok"] is True, f"{path}: bench reported failure"
+    if path.endswith("_profiled.json"):
+        assert doc["profile"], f"{path}: profiled run has empty profile"
+        assert doc["profile"]["phases"], f"{path}: no phases recorded"
+    else:
+        assert doc["profile"] is None, f"{path}: unprofiled run has profile"
     print(f"{path}: OK ({doc['bench']} @ {doc['git']})")
 EOF
 else
@@ -42,7 +60,7 @@ else
 fi
 
 # Opt-in perf regression guard: compares the scheduler hot-path medians
-# against the committed baseline (BENCH_PR3.json); >15% fails.  Off by
+# against the committed baseline (BENCH_PR6.json); >15% fails.  Off by
 # default because wall-clock numbers are machine-specific.
 if [ "${PERF_GUARD:-0}" = "1" ]; then
   python3 scripts/perf_guard.py --build-dir "$BUILD"

@@ -2,7 +2,7 @@
 """Performance regression guard for the scheduler hot paths.
 
 Compares fresh pfair-bench-v1 reports against the committed baseline
-bundle (BENCH_PR5.json at the repo root) and fails if any guarded case
+bundle (BENCH_PR6.json at the repo root) and fails if any guarded case
 regresses by more than the tolerance on its median ns/op.
 
 Usage:
@@ -41,7 +41,7 @@ import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BASELINE = os.path.join(REPO, "BENCH_PR5.json")
+BASELINE = os.path.join(REPO, "BENCH_PR6.json")
 TOLERANCE = 0.15
 
 # (bench target, report name, extra argv, extra env)
@@ -56,7 +56,11 @@ BENCHES = [
         ],
         {},
     ),
-    ("bench_scaling", "scaling", [], {}),
+    # --profile records the per-phase self-time breakdown in the
+    # report's "profile" section (and arms the bench's own < 1.05x
+    # span-overhead shape check); on a regression the guard names the
+    # phase that moved most.
+    ("bench_scaling", "scaling", ["--profile"], {}),
     ("bench_epdf_dvq", "epdf_dvq", ["--repeat=5"], {}),
     # The S1-large tier's own shape check enforces the >= 100x
     # fast-forward speedup and records it in the bundle's values; it has
@@ -133,6 +137,59 @@ def guarded(name):
     return any(re.search(p, name) for p in GUARDED_PATTERNS)
 
 
+def profile_phases(report):
+    """phase -> self_ns from a report's profile section, or None when
+    the report predates profiling (missing key, null, or no phases)."""
+    profile = report.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    phases = profile.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        return None
+    return {name: entry.get("self_ns", 0.0) for name, entry in phases.items()}
+
+
+def attribute_regression(bench_name, base_report, fresh_report):
+    """On a regression, say which profile phase moved most (per-phase
+    self time, baseline vs fresh).  Quietly degrades when either side
+    has no profile section — pre-PR6 baselines lack one."""
+    base_phases = profile_phases(base_report)
+    fresh_phases = profile_phases(fresh_report)
+    if base_phases is None or fresh_phases is None:
+        which = "baseline" if base_phases is None else "fresh report"
+        print(
+            f"  {bench_name}: no profile section in the {which}; "
+            "cannot attribute the regression to a phase"
+        )
+        return
+    movers = sorted(
+        (
+            (fresh_phases.get(name, 0.0) - base_ns, name, base_ns)
+            for name, base_ns in base_phases.items()
+        ),
+        reverse=True,
+    )
+    movers += [
+        (ns, name, 0.0)
+        for name, ns in fresh_phases.items()
+        if name not in base_phases
+    ]
+    movers.sort(reverse=True)
+    delta_ns, name, base_ns = movers[0]
+    if delta_ns <= 0:
+        print(
+            f"  {bench_name}: no profile phase slowed down — the "
+            "regression sits outside instrumented spans"
+        )
+        return
+    rel = f"{delta_ns / base_ns * 100.0:+.1f}%" if base_ns > 0 else "new"
+    print(
+        f"  {bench_name}: phase '{name}' moved most: "
+        f"{base_ns / 1e6:.3f} -> {(base_ns + delta_ns) / 1e6:.3f} ms "
+        f"self time ({rel})"
+    )
+
+
 def check(baseline, fresh, tolerance):
     failures = []
     compared = 0
@@ -146,6 +203,7 @@ def check(baseline, fresh, tolerance):
             failures.append(f"{bench_name}: fresh run reported failure")
         base_cases = case_medians(base_report)
         fresh_cases = case_medians(fresh_report)
+        bench_regressed = False
         for name, base_ns in sorted(base_cases.items()):
             if not guarded(name) or base_ns < MIN_GUARDED_NS:
                 continue
@@ -164,11 +222,14 @@ def check(baseline, fresh, tolerance):
             if worst is None or ratio > worst[0]:
                 worst = (ratio, f"{bench_name}/{name}")
             if ratio > 1.0 + tolerance:
+                bench_regressed = True
                 failures.append(
                     f"{bench_name}/{name}: {base_ns:.0f} -> {fresh_ns:.0f} "
                     f"ns/op, {(ratio - 1.0) * 100:+.1f}% "
                     f"(tolerance {tolerance * 100:.0f}%)"
                 )
+        if bench_regressed:
+            attribute_regression(bench_name, base_report, fresh_report)
     if compared == 0:
         failures.append("no guarded cases compared — baseline empty?")
     elif worst is not None:

@@ -1,10 +1,12 @@
 #include "dvq/dvq_cycle.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "core/assert.hpp"
 #include "dvq/dvq_simulator.hpp"
+#include "obs/prof.hpp"
 #include "sched/state_hash.hpp"
 
 namespace pfair {
@@ -158,11 +160,17 @@ DvqCycleSchedule schedule_dvq_cyclic(const TaskSystem& sys,
                                      const DvqOptions& opts) {
   const std::int64_t limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
-  DvqSimulator sim(sys, yields, opts.policy);
+  std::optional<DvqSimulator> sim_store;
+  {
+    PFAIR_PROF_SPAN(kConstruction);
+    sim_store.emplace(sys, yields, opts.policy);
+  }
+  DvqSimulator& sim = *sim_store;
   const bool probing = opts.trace == nullptr && opts.metrics == nullptr &&
-                       yields.periodic_costs();
+                       opts.quality == nullptr && yields.periodic_costs();
   if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
   if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
+  if (opts.quality != nullptr) sim.set_quality(opts.quality);
 
   CycleStats stats;
   std::vector<TaskSplice> splices;
@@ -180,6 +188,7 @@ DvqCycleSchedule schedule_dvq_cyclic(const TaskSystem& sys,
                      sys.task(static_cast<std::int64_t>(k)).num_subtasks();
       }
       if (exhausted) break;
+      PFAIR_PROF_SPAN(kFingerprint);
       DvqSnap snap = dvq_snapshot(sim, t);
       const DvqSnap* match = nullptr;
       for (const DvqSnap& s : snaps) {
@@ -213,6 +222,7 @@ DvqCycleSchedule schedule_dvq_cyclic(const TaskSystem& sys,
           stats.detect_slot = t;
           stats.cycles_skipped = max_cycles;
           stats.slots_skipped = max_cycles * cycle;
+          PFAIR_PROF_SPAN(kWarp);
           sim.warp(max_cycles, cycle, allocs, t);
         }
         break;

@@ -1,10 +1,12 @@
 #include "dvq/dvq_scheduler.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "dvq/dvq_cycle.hpp"
 #include "dvq/dvq_simulator.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "sched/sfq_scheduler.hpp"
 
 namespace pfair {
@@ -12,7 +14,7 @@ namespace pfair {
 DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
                          const DvqOptions& opts) {
   if (opts.cycle_detect && opts.trace == nullptr && opts.metrics == nullptr &&
-      yields.periodic_costs()) {
+      opts.quality == nullptr && yields.periodic_costs()) {
     const std::int64_t limit =
         opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
     DvqCycleSchedule cyc = schedule_dvq_cyclic(sys, yields, opts);
@@ -21,9 +23,17 @@ DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
   }
   const std::int64_t slot_limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
-  DvqSimulator sim(sys, yields, opts.policy);
+  // The simulator is not movable (its ready heap points into member
+  // tables), so construct in place under the span.
+  std::optional<DvqSimulator> sim_store;
+  {
+    PFAIR_PROF_SPAN(kConstruction);
+    sim_store.emplace(sys, yields, opts.policy);
+  }
+  DvqSimulator& sim = *sim_store;
   if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
   if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
+  if (opts.quality != nullptr) sim.set_quality(opts.quality);
   sim.run_until(Time::slots(slot_limit));
   if (opts.metrics != nullptr) {
     const DvqSchedule& sched = sim.schedule();

@@ -17,8 +17,9 @@
 
 namespace pfair {
 
-class TraceSink;        // obs/trace.hpp
-class MetricsRegistry;  // obs/metrics.hpp
+class TraceSink;         // obs/trace.hpp
+class MetricsRegistry;   // obs/metrics.hpp
+struct QualityCounters;  // obs/quality.hpp
 
 struct DvqOptions {
   Policy policy = Policy::kPd2;
@@ -34,6 +35,11 @@ struct DvqOptions {
   /// histograms accumulate into it, plus a final "sched.idle_ticks"
   /// gauge (capacity minus busy time over the makespan).
   MetricsRegistry* metrics = nullptr;
+  /// Optional scheduler-quality counters (not owned; obs/quality.hpp):
+  /// preemptions, migrations, idle capacity, context switches
+  /// accumulate incrementally with no effect on placements.  Like
+  /// trace/metrics, attaching disables cycle fast-forward.
+  QualityCounters* quality = nullptr;
   /// Steady-state cycle detection (dvq/dvq_cycle.hpp): skip proven-
   /// recurring hyperperiods instead of simulating them.  Engages only
   /// for deterministic/periodic yield models (YieldModel::periodic_costs)

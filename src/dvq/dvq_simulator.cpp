@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "obs/prof.hpp"
+#include "obs/quality.hpp"
 
 namespace pfair {
 
@@ -97,33 +99,101 @@ void DvqSimulator::step_into(std::vector<SubtaskRef>& started) {
   const Time t = next_event_time();
   now_ = t;
 
-  // 1. Retire completions at t; successors whose readiness instant has
-  // arrived join the ready heap for this very batch.
-  while (!completions_.empty() && completions_.front().at <= t) {
-    PFAIR_ASSERT(completions_.front().at == t);
-    const std::int32_t proc = completions_.front().proc;
-    std::pop_heap(completions_.begin(), completions_.end(),
-                  kLaterCompletion);
-    completions_.pop_back();
-    procs_[static_cast<std::size_t>(proc)].busy = false;
-    free_procs_.push_back(proc);
-    std::push_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
-  }
-  while (!pending_.empty() && pending_.front().at <= t) {
-    ready_q_.push(pending_.front().ref);
-    std::pop_heap(pending_.begin(), pending_.end(), kLaterPending);
-    pending_.pop_back();
+  {
+    // 1. Retire completions at t; successors whose readiness instant has
+    // arrived join the ready heap for this very batch.
+    while (!completions_.empty() && completions_.front().at <= t) {
+      PFAIR_ASSERT(completions_.front().at == t);
+      const std::int32_t proc = completions_.front().proc;
+      std::pop_heap(completions_.begin(), completions_.end(),
+                    kLaterCompletion);
+      completions_.pop_back();
+      procs_[static_cast<std::size_t>(proc)].busy = false;
+      free_procs_.push_back(proc);
+      std::push_heap(free_procs_.begin(), free_procs_.end(), kLargerProc);
+    }
+    while (!pending_.empty() && pending_.front().at <= t) {
+      ready_q_.push(pending_.front().ref);
+      std::pop_heap(pending_.begin(), pending_.end(), kLaterPending);
+      pending_.pop_back();
+    }
   }
 
+  const std::size_t free0 = free_procs_.size();
+  const std::size_t base = started.size();
+  // 2.+3. Dispatch.  No spans at this granularity: an event costs a few
+  // hundred nanoseconds, so even one clock-read pair per event would be
+  // double-digit overhead — run_until() scopes the whole loop instead.
   if (probe_.enabled()) [[unlikely]] {
     if (probe_.wants_full_instrumentation()) {
       step_instrumented(started, t);
     } else {
       step_fast<true>(started, t);
     }
-    return;
+  } else {
+    step_fast<false>(started, t);
   }
-  step_fast<false>(started, t);
+  if (quality_ != nullptr) [[unlikely]] {
+    note_quality_event(free0, started, base);
+  }
+}
+
+void DvqSimulator::set_quality(QualityCounters* q) {
+  PFAIR_REQUIRE(q == nullptr || remaining_ == sys_->total_subtasks(),
+                "attach quality counters before the first step");
+  quality_ = q;
+  if (q != nullptr) {
+    const auto procs = static_cast<std::size_t>(sys_->processors());
+    q->resize_procs(procs);
+    proc_task_.assign(procs, -1);
+  }
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void DvqSimulator::note_quality_event(std::size_t free0,
+                                      const std::vector<SubtaskRef>& started,
+                                      std::size_t base) {
+  QualityCounters& q = *quality_;
+  ++q.decision_points;
+  for (std::size_t i = base; i < started.size(); ++i) {
+    const SubtaskRef ref = started[i];
+    const DvqPlacement& pl = sched_.placement(ref);
+    const int proc = pl.proc;
+    if (ref.seq > 0) {
+      const DvqPlacement& prev =
+          sched_.placement(SubtaskRef{ref.task, ref.seq - 1});
+      if (prev.proc >= 0 && prev.proc != proc) ++q.migrations;
+      // Preemption: this subtask was ready the instant its predecessor
+      // completed (eligibility had already passed) yet starts strictly
+      // later — the task was descheduled in between.  Charged once, at
+      // the start (the tick-space analog of the SFQ slot rule).
+      const Time prev_end = prev.completion();
+      if (pl.start > prev_end &&
+          Time::slots(sys_->task(ref.task).eligible_at(ref.seq)) <=
+              prev_end) {
+        ++q.preemptions;
+      }
+    }
+    std::int32_t& occupant = proc_task_[static_cast<std::size_t>(proc)];
+    if (occupant != ref.task) {
+      if (occupant >= 0) {
+        ++q.context_switches;
+        ++q.per_proc_switches[static_cast<std::size_t>(proc)];
+      }
+      occupant = ref.task;
+    }
+  }
+  // No capacity at this instant (a readiness event landed while every
+  // processor was busy): nothing is idle.  Otherwise every free
+  // processor the work-conserving dispatch left unfilled idles for this
+  // decision instant.
+  if (free0 == 0) return;
+  const std::size_t placed = started.size() - base;
+  if (placed < free0) {
+    q.idle_slots += static_cast<std::int64_t>(free0 - placed);
+  }
 }
 
 template <bool kTraced>
@@ -256,6 +326,7 @@ void DvqSimulator::note_placement(Time t, SubtaskRef ref, int proc,
 }
 
 void DvqSimulator::run_until(Time time_limit) {
+  PFAIR_PROF_SPAN(kDvqEvents);
   while (remaining_ > 0 && has_events() &&
          next_event_time() < time_limit) {
     scratch_started_.clear();
@@ -267,6 +338,7 @@ void DvqSimulator::warp(std::int64_t cycles, std::int64_t cycle_slots,
                         const std::vector<std::int64_t>& cycle_allocs,
                         std::int64_t boundary_slot) {
   PFAIR_REQUIRE(!probe_.enabled(), "warp would skip trace events");
+  PFAIR_REQUIRE(quality_ == nullptr, "warp would skip quality accounting");
   PFAIR_REQUIRE(cycles >= 0 && cycle_slots > 0, "bad warp parameters");
   if (cycles == 0) return;
   const Time shift = Time::ticks(cycles * cycle_slots * kTicksPerSlot);

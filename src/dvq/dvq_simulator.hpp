@@ -37,7 +37,8 @@
 
 namespace pfair {
 
-struct DvqOptions;  // dvq/dvq_scheduler.hpp
+struct DvqOptions;       // dvq/dvq_scheduler.hpp
+struct QualityCounters;  // obs/quality.hpp
 
 /// Incremental event-driven DVQ scheduler.  The task system and yield
 /// model must outlive the simulator.
@@ -110,6 +111,12 @@ class DvqSimulator {
   /// Accumulates sched.* metrics (see obs/probe.hpp) into `reg`, which
   /// must outlive the simulator.
   void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
+  /// Accumulates scheduler-quality counters (obs/quality.hpp) into `q`
+  /// incrementally, one O(changes) update per event, on every path —
+  /// placements are unaffected.  Must be attached before the first
+  /// step; `q` must outlive the simulator.  analysis/recount.hpp
+  /// recomputes the same numbers offline.
+  void set_quality(QualityCounters* q);
 
  private:
   /// The earliest unprocessed event instant; requires has_events().
@@ -130,6 +137,12 @@ class DvqSimulator {
   void sort_ready_instrumented(std::vector<SubtaskRef>& ready,
                                std::size_t m, Time t);
   void note_placement(Time t, SubtaskRef ref, int proc, Time c);
+  // Folds one event instant's decisions into quality_: `free0` is the
+  // free-processor count before dispatch, `started[base..)` the
+  // placements made at this instant (already committed).
+  void note_quality_event(std::size_t free0,
+                          const std::vector<SubtaskRef>& started,
+                          std::size_t base);
 
   // Bookkeeping shared by both paths for one placement at instant `t`:
   // records the placement, books the completion event, and enqueues the
@@ -171,6 +184,10 @@ class DvqSimulator {
   std::vector<SubtaskRef> scratch_ready_;  // instrumented path only
   Time now_;
   std::int64_t remaining_;
+
+  // Quality accounting (null = off): the task each processor last ran.
+  QualityCounters* quality_ = nullptr;
+  std::vector<std::int32_t> proc_task_;
 };
 
 }  // namespace pfair

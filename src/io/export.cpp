@@ -1,8 +1,11 @@
 #include "io/export.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "analysis/tardiness.hpp"
+#include "io/json.hpp"
+#include "obs/prof.hpp"
 
 namespace pfair {
 
@@ -55,6 +58,57 @@ void emit_instants(std::ostream& os, bool& first, const TaskSystem& sys,
     arg("d", e.detail);
     os << "}}";
   }
+}
+
+void emit_metadata(std::ostream& os, bool& first, int pid,
+                   const char* kind, const std::string& value) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name": ")" << kind << R"(", "ph": "M", "pid": )" << pid
+     << R"(, "tid": 0, "args": {"name": ")" << json_escape(value)
+     << "\"}}";
+}
+
+/// Profiler process row (pid 2): every recorded span as a ph:"X" event
+/// in real wall-clock microseconds, one thread row per profiled thread.
+void emit_profile_spans(std::ostream& os, bool& first,
+                        const prof::ProfileSnapshot& profile) {
+  emit_metadata(os, first, 2, "process_name",
+                "profiler (" + profile.clock + ")");
+  const double ns = profile.ns_per_tick;
+  for (const prof::SpanRecord& s : profile.spans) {
+    if (!first) os << ",\n";
+    first = false;
+    const auto ts = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(s.start_ticks) * ns / 1000.0));
+    const auto dur = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(s.dur_ticks) * ns / 1000.0));
+    os << R"(  {"name": ")" << prof::to_string(s.phase)
+       << R"(", "cat": "prof", "ph": "X", "pid": 2, "tid": )" << s.thread
+       << R"(, "ts": )" << ts << R"(, "dur": )" << dur
+       << R"(, "args": {"depth": )" << s.depth << "}}";
+  }
+}
+
+/// Shared tail: instants, truncation metadata, profiler spans, footer.
+void finish_trace(std::ostream& os, bool& first, const TaskSystem& sys,
+                  const ChromeTraceExtras& extras) {
+  emit_instants(os, first, sys, extras.events);
+  if (extras.events_dropped > 0) {
+    emit_metadata(os, first, 1, "process_name",
+                  "schedule (trace truncated: " +
+                      std::to_string(extras.events_dropped) +
+                      " events dropped)");
+  }
+  if (extras.profile != nullptr) {
+    emit_profile_spans(os, first, *extras.profile);
+  }
+  os << "\n]";
+  if (extras.events_dropped > 0) {
+    os << ", \"otherData\": {\"trace_events_dropped\": "
+       << extras.events_dropped << "}";
+  }
+  os << ", \"displayTimeUnit\": \"ms\"}\n";
 }
 
 }  // namespace
@@ -122,17 +176,29 @@ CsvWriter export_dvq_schedule(const TaskSystem& sys,
 
 std::string export_chrome_trace(const TaskSystem& sys,
                                 const DvqSchedule& sched) {
-  return export_chrome_trace(sys, sched, {});
+  return export_chrome_trace(sys, sched, ChromeTraceExtras{});
 }
 
 std::string export_chrome_trace(const TaskSystem& sys,
                                 const SlotSchedule& sched) {
-  return export_chrome_trace(sys, sched, {});
+  return export_chrome_trace(sys, sched, ChromeTraceExtras{});
 }
 
 std::string export_chrome_trace(const TaskSystem& sys,
                                 const DvqSchedule& sched,
                                 std::span<const TraceEvent> events) {
+  return export_chrome_trace(sys, sched, ChromeTraceExtras{.events = events});
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const SlotSchedule& sched,
+                                std::span<const TraceEvent> events) {
+  return export_chrome_trace(sys, sched, ChromeTraceExtras{.events = events});
+}
+
+std::string export_chrome_trace(const TaskSystem& sys,
+                                const DvqSchedule& sched,
+                                const ChromeTraceExtras& extras) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -149,14 +215,13 @@ std::string export_chrome_trace(const TaskSystem& sys,
                  subtask_tardiness_ticks(sys, sched, ref));
     }
   }
-  emit_instants(os, first, sys, events);
-  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  finish_trace(os, first, sys, extras);
   return os.str();
 }
 
 std::string export_chrome_trace(const TaskSystem& sys,
                                 const SlotSchedule& sched,
-                                std::span<const TraceEvent> events) {
+                                const ChromeTraceExtras& extras) {
   std::ostringstream os;
   os << "{\"traceEvents\": [\n";
   bool first = true;
@@ -173,8 +238,7 @@ std::string export_chrome_trace(const TaskSystem& sys,
                  subtask_tardiness(sys, sched, ref) * kTicksPerSlot);
     }
   }
-  emit_instants(os, first, sys, events);
-  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  finish_trace(os, first, sys, extras);
   return os.str();
 }
 

@@ -2,6 +2,7 @@
 // plotting (each bench can dump its raw data).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "dvq/dvq_schedule.hpp"
@@ -10,6 +11,10 @@
 #include "sched/schedule.hpp"
 
 namespace pfair {
+
+namespace prof {
+struct ProfileSnapshot;  // obs/prof.hpp
+}  // namespace prof
 
 /// One row per subtask: task, name, index, window parameters.
 [[nodiscard]] CsvWriter export_task_system(const TaskSystem& sys);
@@ -45,5 +50,30 @@ namespace pfair {
 [[nodiscard]] std::string export_chrome_trace(
     const TaskSystem& sys, const SlotSchedule& sched,
     std::span<const TraceEvent> events);
+
+/// Extra streams rendered alongside a schedule in one Chrome trace.
+struct ChromeTraceExtras {
+  /// Captured scheduler trace, rendered as instant events (see above).
+  std::span<const TraceEvent> events{};
+  /// Events the capturing ring dropped (RingBufferSink::dropped()).
+  /// Nonzero renames the schedule process to "... (trace truncated: N
+  /// events dropped)" and records the count under otherData, so a
+  /// truncated timeline is visibly truncated in Chrome/Perfetto.
+  std::uint64_t events_dropped = 0;
+  /// Self-profiling spans (obs/prof.hpp), rendered as ph:"X" duration
+  /// events in real (wall-clock) microseconds on a second process row —
+  /// the schedule timeline above, where the simulator spent its cycles
+  /// below.
+  const prof::ProfileSnapshot* profile = nullptr;
+};
+
+/// The full-fat export: schedule + scheduler trace + profiler spans +
+/// truncation metadata.  The overloads above delegate here.
+[[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
+                                              const DvqSchedule& sched,
+                                              const ChromeTraceExtras& extras);
+[[nodiscard]] std::string export_chrome_trace(const TaskSystem& sys,
+                                              const SlotSchedule& sched,
+                                              const ChromeTraceExtras& extras);
 
 }  // namespace pfair

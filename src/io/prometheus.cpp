@@ -1,0 +1,58 @@
+#include "io/prometheus.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace pfair {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = "pfair_";
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(
+        (std::isalnum(u) != 0 || c == '_' || c == ':') ? c : '_');
+  }
+  return out;
+}
+
+// Largest value held by log2 bucket b (bucket 0: everything <= 0).
+std::int64_t bucket_upper(int b) {
+  if (b <= 0) return 0;
+  if (b >= 63) return INT64_MAX;
+  return (std::int64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string p = sanitize(name) + "_total";
+    os << "# TYPE " << p << " counter\n";
+    os << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string p = sanitize(name);
+    os << "# TYPE " << p << " gauge\n";
+    os << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = sanitize(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::int64_t cum = 0;
+    for (const auto& [b, n] : h.buckets) {
+      cum += n;
+      os << p << "_bucket{le=\"" << bucket_upper(b) << "\"} " << cum
+         << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << p << "_sum " << h.sum << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfair

@@ -1,0 +1,26 @@
+// Prometheus text-format exposition (version 0.0.4) for a metrics
+// snapshot — the scrape surface the future `pfaird` serving daemon will
+// answer on /metrics, usable today via `pfairsim --prom` and
+// `bench --prom`.
+//
+// Mapping:
+//   * counters    -> `pfair_<name>_total` (TYPE counter)
+//   * gauges      -> `pfair_<name>` (TYPE gauge)
+//   * histograms  -> `pfair_<name>` as a cumulative native-text
+//     histogram: one `_bucket{le="..."}` series per populated log2
+//     bucket boundary (le = 2^b - 1, the largest value bucket b holds),
+//     a final `_bucket{le="+Inf"}`, plus `_sum` and `_count`.
+// Metric names are sanitized to [a-zA-Z0-9_:] (every other byte becomes
+// '_'), matching the exposition-format grammar.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pfair {
+
+/// Renders the whole snapshot in deterministic (name-sorted) order.
+[[nodiscard]] std::string metrics_to_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace pfair

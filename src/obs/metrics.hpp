@@ -75,6 +75,10 @@ class Histogram {
   static constexpr int kBuckets = 65;
 
   void add(std::int64_t x) noexcept;
+  /// Folds `other`'s samples into this histogram.  Lock-free and safe
+  /// against concurrent add()s on either side; associative and
+  /// commutative over the resulting (count, sum, min, max, buckets).
+  void merge_from(const Histogram& other) noexcept;
 
   [[nodiscard]] std::int64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -95,11 +99,16 @@ class Histogram {
   }
 
  private:
+  void shrink_min(std::int64_t x) noexcept;
+  void grow_max(std::int64_t x) noexcept;
+
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<std::int64_t> sum_{0};
-  std::atomic<std::int64_t> min_{0};
-  std::atomic<std::int64_t> max_{0};
+  // Sentinel-initialized so min/max updates are a bare CAS loop with no
+  // "first sample" special case — that keeps merge_from lock-free too.
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
 };
 
 /// Plain-data view of one histogram at snapshot time.
@@ -115,6 +124,11 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+  /// Approximate q-quantile (q in [0,1]): walks the cumulative bucket
+  /// counts and interpolates linearly inside the target bucket's value
+  /// range, clamped to [min, max].  Exact at the extremes (quantile(0)
+  /// == min, quantile(1) == max); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Deterministic point-in-time copy of a registry.

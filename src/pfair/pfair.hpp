@@ -15,6 +15,8 @@
 
 #include "obs/metrics.hpp"  // IWYU pragma: export
 #include "obs/probe.hpp"    // IWYU pragma: export
+#include "obs/prof.hpp"     // IWYU pragma: export
+#include "obs/quality.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"    // IWYU pragma: export
 
 #include "tasks/group_deadline.hpp"  // IWYU pragma: export
@@ -58,6 +60,7 @@
 #include "analysis/lag.hpp"              // IWYU pragma: export
 #include "analysis/overheads.hpp"        // IWYU pragma: export
 #include "analysis/pdb_blocking.hpp"     // IWYU pragma: export
+#include "analysis/recount.hpp"          // IWYU pragma: export
 #include "analysis/sb_construction.hpp"  // IWYU pragma: export
 #include "analysis/switching.hpp"        // IWYU pragma: export
 #include "analysis/tardiness.hpp"        // IWYU pragma: export
@@ -75,7 +78,8 @@
 #include "io/csv.hpp"       // IWYU pragma: export
 #include "io/export.hpp"    // IWYU pragma: export
 #include "io/json.hpp"      // IWYU pragma: export
-#include "io/parse.hpp"     // IWYU pragma: export
+#include "io/parse.hpp"       // IWYU pragma: export
+#include "io/prometheus.hpp"  // IWYU pragma: export
 #include "io/render.hpp"    // IWYU pragma: export
 #include "io/svg.hpp"       // IWYU pragma: export
 #include "io/table.hpp"     // IWYU pragma: export

@@ -1,9 +1,11 @@
 #include "sched/compressed_schedule.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "core/assert.hpp"
+#include "obs/prof.hpp"
 #include "obs/probe.hpp"
 #include "sched/simulator.hpp"
 #include "sched/state_hash.hpp"
@@ -97,10 +99,17 @@ CycleSchedule schedule_sfq_cyclic(const TaskSystem& sys,
                                   const SfqOptions& opts) {
   const std::int64_t limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
-  SfqSimulator sim(sys, opts.policy);
-  const bool probing = opts.trace == nullptr && opts.metrics == nullptr;
+  std::optional<SfqSimulator> sim_store;
+  {
+    PFAIR_PROF_SPAN(kConstruction);
+    sim_store.emplace(sys, opts.policy);
+  }
+  SfqSimulator& sim = *sim_store;
+  const bool probing = opts.trace == nullptr && opts.metrics == nullptr &&
+                       opts.quality == nullptr;
   if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
   if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
+  if (opts.quality != nullptr) sim.set_quality(opts.quality);
 
   CycleStats stats;
   std::vector<TaskSplice> splices;
@@ -129,6 +138,7 @@ CycleSchedule schedule_sfq_cyclic(const TaskSystem& sys,
       // Once any task's sequence runs dry the state can never recur
       // (its lag drifts monotonically) — stop paying for snapshots.
       if (exhausted) break;
+      PFAIR_PROF_SPAN(kFingerprint);
       StateFingerprint fp = sfq_state_fingerprint(sim);
       const Snap* match = nullptr;
       for (const Snap& s : snaps) {
@@ -162,6 +172,7 @@ CycleSchedule schedule_sfq_cyclic(const TaskSystem& sys,
           stats.detect_slot = t;
           stats.cycles_skipped = max_cycles;
           stats.slots_skipped = max_cycles * cycle;
+          PFAIR_PROF_SPAN(kWarp);
           sim.warp(max_cycles, cycle, allocs);
         }
         break;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/prof.hpp"
 #include "tasks/window_table.hpp"
 
 namespace pfair {
@@ -21,6 +22,7 @@ int field_bits(std::uint64_t range) {
 
 PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
     : sys_(&sys), policy_(policy) {
+  PFAIR_PROF_SPAN(kKeyPrecompute);
   // PF's lexicographic successor-bit tie-break has no fixed-width
   // encoding; it keeps the PriorityOrder fallback.  The fault-injection
   // policy is deliberately left unpacked too — it is never hot.

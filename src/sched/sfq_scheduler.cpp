@@ -1,7 +1,9 @@
 #include "sched/sfq_scheduler.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "obs/prof.hpp"
 #include "sched/compressed_schedule.hpp"
 #include "sched/simulator.hpp"
 
@@ -17,7 +19,8 @@ std::int64_t default_horizon(const TaskSystem& sys) {
 }
 
 SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
-  if (opts.cycle_detect && opts.trace == nullptr && opts.metrics == nullptr) {
+  if (opts.cycle_detect && opts.trace == nullptr &&
+      opts.metrics == nullptr && opts.quality == nullptr) {
     // The cyclic driver runs the same simulator and warps over proven
     // recurrences; materializing afterwards reproduces the full run
     // placement for placement (asserted by tests/cycle_test.cpp).
@@ -27,11 +30,18 @@ SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
   }
   const std::int64_t limit =
       opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
-  SfqSimulator sim(sys, opts.policy);
-  if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);
-  if (opts.metrics != nullptr) sim.attach_metrics(*opts.metrics);
-  sim.run_until(limit);
-  return std::move(sim).take_schedule();
+  // The simulator is not movable (its ready heap points into member
+  // tables), so construct in place under the span.
+  std::optional<SfqSimulator> sim;
+  {
+    PFAIR_PROF_SPAN(kConstruction);
+    sim.emplace(sys, opts.policy);
+  }
+  if (opts.trace != nullptr) sim->set_trace_sink(opts.trace);
+  if (opts.metrics != nullptr) sim->attach_metrics(*opts.metrics);
+  if (opts.quality != nullptr) sim->set_quality(opts.quality);
+  sim->run_until(limit);
+  return std::move(*sim).take_schedule();
 }
 
 }  // namespace pfair

@@ -15,8 +15,9 @@
 
 namespace pfair {
 
-class TraceSink;        // obs/trace.hpp
-class MetricsRegistry;  // obs/metrics.hpp
+class TraceSink;         // obs/trace.hpp
+class MetricsRegistry;   // obs/metrics.hpp
+struct QualityCounters;  // obs/quality.hpp
 
 /// Options for one SFQ run.
 struct SfqOptions {
@@ -31,6 +32,12 @@ struct SfqOptions {
   /// Optional metrics registry (not owned); sched.* counters and
   /// histograms accumulate into it (see obs/probe.hpp).
   MetricsRegistry* metrics = nullptr;
+  /// Optional scheduler-quality counters (not owned; obs/quality.hpp):
+  /// preemptions, migrations, idle slots, context switches accumulate
+  /// incrementally with no effect on placements.  Like trace/metrics,
+  /// attaching disables cycle fast-forward (skipped slots would be
+  /// uncounted).
+  QualityCounters* quality = nullptr;
   /// Steady-state cycle detection (sched/compressed_schedule.hpp): skip
   /// proven-recurring hyperperiods instead of simulating them.  Placements
   /// are bit-identical either way; the knob exists so A/B tests can force

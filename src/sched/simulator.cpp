@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/prof.hpp"
+#include "obs/quality.hpp"
+
 namespace pfair {
 
 SfqSimulator::SfqSimulator(const TaskSystem& sys, Policy policy)
@@ -91,16 +94,79 @@ std::vector<SubtaskRef> SfqSimulator::step() {
 }
 
 void SfqSimulator::step_into(std::vector<SubtaskRef>& picks) {
-  drain_calendar();
-  if (probe_.enabled()) [[unlikely]] {
-    if (probe_.wants_full_instrumentation()) {
-      step_instrumented(picks);
-    } else {
-      step_fast<true>(picks);
-    }
-    return;
+  {
+    PFAIR_PROF_SPAN(kCalendarWalk);
+    drain_calendar();
   }
-  step_fast<false>(picks);
+  {
+    PFAIR_PROF_SPAN(kReadyHeap);
+    if (probe_.enabled()) [[unlikely]] {
+      if (probe_.wants_full_instrumentation()) {
+        step_instrumented(picks);
+      } else {
+        step_fast<true>(picks);
+      }
+    } else {
+      step_fast<false>(picks);
+    }
+  }
+  if (quality_ != nullptr) [[unlikely]] {
+    note_quality(picks);
+  }
+}
+
+void SfqSimulator::set_quality(QualityCounters* q) {
+  PFAIR_REQUIRE(q == nullptr || now_ == 0,
+                "attach quality counters before the first step");
+  quality_ = q;
+  if (q != nullptr) {
+    const auto procs = static_cast<std::size_t>(sys_->processors());
+    q->resize_procs(procs);
+    proc_task_.assign(procs, -1);
+    prev_tasks_.clear();
+  }
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+void SfqSimulator::note_quality(const std::vector<SubtaskRef>& picks) {
+  const std::int64_t t = now_ - 1;  // the slot just decided
+  QualityCounters& q = *quality_;
+  ++q.decision_points;
+  const auto procs = static_cast<std::size_t>(sys_->processors());
+  q.idle_slots += static_cast<std::int64_t>(procs - picks.size());
+  for (std::size_t r = 0; r < picks.size(); ++r) {
+    const SubtaskRef ref = picks[r];
+    if (ref.seq > 0) {
+      const int prev =
+          sched_.placement(SubtaskRef{ref.task, ref.seq - 1}).proc;
+      if (prev >= 0 && prev != static_cast<int>(r)) ++q.migrations;
+    }
+    std::int32_t& occupant = proc_task_[r];
+    if (occupant != ref.task) {
+      if (occupant >= 0) {
+        ++q.context_switches;
+        ++q.per_proc_switches[r];
+      }
+      occupant = ref.task;
+    }
+  }
+  // A task that held a processor in the previous slot, is still ready
+  // here (eligible, work left) and was not placed, was preempted.  Only
+  // last slot's picks are candidates; a placement this slot would have
+  // advanced last_slot_ to t.
+  for (const std::int32_t k : prev_tasks_) {
+    const auto ks = static_cast<std::size_t>(k);
+    if (last_slot_[ks] != t - 1) continue;
+    const Task& task = sys_->task(k);
+    const std::int64_t h = head_[ks];
+    if (h >= task.num_subtasks()) continue;
+    if (task.eligible_at(h) > t) continue;
+    ++q.preemptions;
+  }
+  prev_tasks_.clear();
+  for (const SubtaskRef& ref : picks) prev_tasks_.push_back(ref.task);
 }
 
 template <bool kTraced>
@@ -209,6 +275,7 @@ void SfqSimulator::run_until(std::int64_t slot_limit) {
 void SfqSimulator::warp(std::int64_t cycles, std::int64_t cycle_slots,
                         const std::vector<std::int64_t>& cycle_allocs) {
   PFAIR_REQUIRE(!probe_.enabled(), "warp would skip trace events");
+  PFAIR_REQUIRE(quality_ == nullptr, "warp would skip quality accounting");
   PFAIR_REQUIRE(cycles >= 0 && cycle_slots > 0, "bad warp parameters");
   if (cycles == 0) return;
   const std::int64_t shift = cycles * cycle_slots;

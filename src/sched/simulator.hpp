@@ -39,7 +39,8 @@
 
 namespace pfair {
 
-struct SfqOptions;  // sched/sfq_scheduler.hpp
+struct SfqOptions;       // sched/sfq_scheduler.hpp
+struct QualityCounters;  // obs/quality.hpp
 
 /// Incremental slot-by-slot Pfair scheduler.
 /// The task system must outlive the simulator.
@@ -107,6 +108,12 @@ class SfqSimulator {
   /// Accumulates sched.* metrics (see obs/probe.hpp) into `reg`, which
   /// must outlive the simulator.
   void attach_metrics(MetricsRegistry& reg) { probe_.attach_metrics(reg); }
+  /// Accumulates scheduler-quality counters (obs/quality.hpp) into `q`
+  /// incrementally, one O(M) update per slot, on every path (fast,
+  /// traced, instrumented) — placements are unaffected.  Must be
+  /// attached before the first step; `q` must outlive the simulator.
+  /// analysis/recount.hpp recomputes the same numbers offline.
+  void set_quality(QualityCounters* q);
 
  private:
   // One slot's decisions appended into `picks` (not cleared; reused as a
@@ -124,6 +131,9 @@ class SfqSimulator {
   void sort_picks_instrumented(std::vector<SubtaskRef>& picks,
                                std::size_t m, Time at);
   void note_placement(Time at, SubtaskRef ref, int proc);
+  // Folds one slot's decisions (already committed; now_ advanced) into
+  // quality_.  `picks[r]` ran on processor r — true on every path.
+  void note_quality(const std::vector<SubtaskRef>& picks);
 
   // Bookkeeping shared by both paths for one placement in slot now():
   // head/lag/progress counters plus the successor's calendar entry.
@@ -153,6 +163,13 @@ class SfqSimulator {
   std::vector<SubtaskRef> scratch_picks_;
   std::int64_t now_ = 0;
   std::int64_t remaining_;
+
+  // Quality accounting (null = off): the task occupying each processor
+  // at the last slot that used it, and the tasks placed last slot (the
+  // only preemption candidates).
+  QualityCounters* quality_ = nullptr;
+  std::vector<std::int32_t> proc_task_;
+  std::vector<std::int32_t> prev_tasks_;
 };
 
 }  // namespace pfair

@@ -15,6 +15,8 @@
 #include "dvq/reference_scheduler.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/quality.hpp"
 #include "obs/trace.hpp"
 #include "sched/reference_scheduler.hpp"
 #include "sched/sfq_scheduler.hpp"
@@ -333,6 +335,57 @@ TEST(AbEquivalence, DvqMixedInstrumentationStaysIdentical) {
     ASSERT_TRUE(same_dvq(ref, sim.schedule(), sys, &why))
         << to_string(policy) << ": " << why;
   }
+}
+
+// Profiling spans (obs/prof.hpp) and quality counters (obs/quality.hpp)
+// are pure observers: a run with a profiler installed on the thread and
+// counters attached must be bit-identical to the plain run, in both
+// models.  This is the acceptance contract that makes `--profile` safe
+// to leave on in production-style invocations.
+TEST(AbEquivalence, ProfiledAndQualityRunsAreBitIdentical) {
+  FailureLog failures;
+  global_pool().parallel_for(
+      0, kSeeds * 4,
+      [&](std::int64_t i) {
+          const int seed = static_cast<int>(i / 4);
+          const Policy policy = kAllPolicies[i % 4];
+          const TaskSystem sys = make_system(seed);
+          const std::string tag = "seed " + std::to_string(seed) + " " +
+                                  to_string(policy);
+          std::string why;
+
+          SfqOptions sopts;
+          sopts.policy = policy;
+          const SlotSchedule plain = schedule_sfq(sys, sopts);
+          prof::Profiler profiler;
+          {
+            prof::ProfScope scope(&profiler);
+            SfqOptions sq = sopts;
+            QualityCounters q;
+            sq.quality = &q;
+            if (!same_sfq(plain, schedule_sfq(sys, sq), sys, &why)) {
+              failures.record(tag + " sfq profiled: " + why);
+            }
+          }
+
+          const BernoulliYield yields(
+              static_cast<std::uint64_t>(seed) * 7919 + 3, 1, 3, kTick,
+              kQuantum - kTick);
+          DvqOptions dopts;
+          dopts.policy = policy;
+          const DvqSchedule dplain = schedule_dvq(sys, yields, dopts);
+          {
+            prof::ProfScope scope(&profiler);
+            DvqOptions dq = dopts;
+            QualityCounters q;
+            dq.quality = &q;
+            if (!same_dvq(dplain, schedule_dvq(sys, yields, dq), sys,
+                          &why)) {
+              failures.record(tag + " dvq profiled: " + why);
+            }
+          }
+      });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
 }
 
 }  // namespace

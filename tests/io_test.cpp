@@ -174,5 +174,29 @@ TEST(ChromeTrace, CapturedTraceBecomesInstantEvents) {
             static_cast<std::int64_t>(plain.at("traceEvents").array.size()));
 }
 
+TEST(ChromeTrace, DropCountBecomesTruncationMetadata) {
+  const TaskSystem sys = fig6_system();
+  const SlotSchedule sched = schedule_sfq(sys, SfqOptions{});
+
+  // No drops: no truncation marker, no otherData.
+  const std::string clean =
+      export_chrome_trace(sys, sched, ChromeTraceExtras{});
+  EXPECT_EQ(clean.find("trace truncated"), std::string::npos);
+  EXPECT_EQ(clean.find("otherData"), std::string::npos);
+
+  // Drops rename the schedule process and record the exact count under
+  // otherData, so a truncated timeline is visibly truncated.
+  const std::string truncated = export_chrome_trace(
+      sys, sched, ChromeTraceExtras{.events_dropped = 37});
+  EXPECT_NE(truncated.find("trace truncated: 37 events dropped"),
+            std::string::npos);
+  const JsonValue doc = parse_json(truncated);
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* dropped = other->find("trace_events_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->integer, 37);
+}
+
 }  // namespace
 }  // namespace pfair

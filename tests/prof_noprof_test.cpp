@@ -1,0 +1,41 @@
+// Compiled with -DPFAIR_NO_PROF (see tests/CMakeLists.txt): the span
+// macro must vanish entirely while the rest of the layer still links,
+// and an installed profiler must observe nothing from macro call sites.
+#include <gtest/gtest.h>
+
+#include "obs/prof.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/paper_figures.hpp"
+
+#ifndef PFAIR_NO_PROF
+#error "this test must be compiled with -DPFAIR_NO_PROF"
+#endif
+
+namespace pfair {
+namespace {
+
+TEST(ProfCompiledOut, SpanMacroIsANoOpEvenWhileInstalled) {
+  prof::Profiler profiler;
+  {
+    prof::ProfScope scope(&profiler);
+    PFAIR_PROF_SPAN(kSimulate);
+    { PFAIR_PROF_SPAN(kCalendarWalk); }
+  }
+  const prof::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.spans_recorded, 0u);
+  EXPECT_TRUE(snap.phases.empty());
+}
+
+TEST(ProfCompiledOut, SchedulingStillWorks) {
+  // The library itself was built with spans enabled; only this TU's
+  // macro call sites compile out.  A run through the real scheduler
+  // proves the header is usable either way.
+  auto scenario = figure_scenario_by_name("fig6");
+  ASSERT_TRUE(scenario.has_value());
+  SfqOptions opts;
+  const SlotSchedule sched = schedule_sfq(scenario->system, opts);
+  EXPECT_TRUE(sched.complete());
+}
+
+}  // namespace
+}  // namespace pfair

@@ -1,0 +1,399 @@
+// Self-profiling span layer (obs/prof.hpp), histogram algebra
+// (obs/metrics.hpp), and the scheduler-quality counters' incremental ==
+// offline-recount contract (obs/quality.hpp, analysis/recount.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/recount.hpp"
+#include "core/thread_pool.hpp"
+#include "dvq/dvq_scheduler.hpp"
+#include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "obs/quality.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "workload/generator.hpp"
+
+namespace pfair {
+namespace {
+
+using prof::Phase;
+using prof::Profiler;
+using prof::ProfScope;
+using prof::ProfileSnapshot;
+
+const ProfileSnapshot::PhaseEntry& entry(const ProfileSnapshot& snap,
+                                         Phase p) {
+  const ProfileSnapshot::PhaseEntry* e = snap.find(p);
+  EXPECT_NE(e, nullptr) << "phase " << prof::to_string(p) << " missing";
+  static ProfileSnapshot::PhaseEntry zero{};
+  return e != nullptr ? *e : zero;
+}
+
+TEST(Prof, InactiveThreadRecordsNothing) {
+  EXPECT_FALSE(prof::active());
+  { PFAIR_PROF_SPAN(kSimulate); }  // no profiler installed: a no-op
+  Profiler p;
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.threads, 0);
+  EXPECT_EQ(snap.spans_recorded, 0u);
+  EXPECT_EQ(snap.spans_dropped, 0u);
+  EXPECT_TRUE(snap.phases.empty());
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST(Prof, NestedSpansTelescopeExactly) {
+  Profiler p;
+  {
+    ProfScope scope(&p);
+    EXPECT_TRUE(prof::active());
+    PFAIR_PROF_SPAN(kSimulate);
+    { PFAIR_PROF_SPAN(kCalendarWalk); }
+    { PFAIR_PROF_SPAN(kReadyHeap); }
+  }
+  EXPECT_FALSE(prof::active());
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.threads, 1);
+  EXPECT_EQ(snap.spans_recorded, 3u);
+  const auto& sim = entry(snap, Phase::kSimulate);
+  const auto& cal = entry(snap, Phase::kCalendarWalk);
+  const auto& heap = entry(snap, Phase::kReadyHeap);
+  EXPECT_EQ(sim.count, 1);
+  EXPECT_EQ(cal.count, 1);
+  EXPECT_EQ(heap.count, 1);
+  // The parent's self time excludes exactly its children's totals, so
+  // the tick arithmetic telescopes with no slack.
+  EXPECT_EQ(sim.self_ticks,
+            sim.total_ticks - cal.total_ticks - heap.total_ticks);
+  // Leaves have no children: self == total.
+  EXPECT_EQ(cal.self_ticks, cal.total_ticks);
+  EXPECT_EQ(heap.self_ticks, heap.total_ticks);
+  // Attributed time == the one top-level span's duration.
+  const std::int64_t self_sum =
+      sim.self_ticks + cal.self_ticks + heap.self_ticks;
+  EXPECT_EQ(self_sum, sim.total_ticks);
+}
+
+void recurse(int depth) {
+  PFAIR_PROF_SPAN(kAnalysis);
+  if (depth > 1) recurse(depth - 1);
+}
+
+TEST(Prof, RecursiveSamePhaseSelfSumsToOutermostSpan) {
+  Profiler p;
+  {
+    ProfScope scope(&p);
+    recurse(5);
+  }
+  const ProfileSnapshot snap = p.snapshot();
+  const auto& e = entry(snap, Phase::kAnalysis);
+  EXPECT_EQ(e.count, 5);
+  // total double-counts the nesting; self must not.  The sum of self
+  // times equals the outermost (depth-0) span's duration exactly.
+  ASSERT_EQ(snap.spans.size(), 5u);
+  std::uint64_t outer_dur = 0;
+  int depth0 = 0;
+  for (const prof::SpanRecord& s : snap.spans) {
+    EXPECT_EQ(s.phase, Phase::kAnalysis);
+    if (s.depth == 0) {
+      ++depth0;
+      outer_dur = s.dur_ticks;
+    }
+  }
+  EXPECT_EQ(depth0, 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(e.self_ticks), outer_dur);
+  EXPECT_GE(e.total_ticks, e.self_ticks);
+}
+
+TEST(Prof, RingOverflowKeepsNewestAndCountsDrops) {
+  Profiler p(/*ring_capacity=*/8);
+  {
+    ProfScope scope(&p);
+    for (int i = 0; i < 100; ++i) {
+      PFAIR_PROF_SPAN(kWarp);
+    }
+  }
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.spans_recorded, 100u);
+  EXPECT_EQ(snap.spans_dropped, 92u);
+  EXPECT_EQ(snap.spans.size(), 8u);
+  // The per-phase accumulators are exact regardless of ring drops.
+  EXPECT_EQ(entry(snap, Phase::kWarp).count, 100);
+  // Newest kept: the retained spans are the run's last (and therefore
+  // latest-starting) ones, sorted by start tick.
+  for (std::size_t i = 1; i < snap.spans.size(); ++i) {
+    EXPECT_GE(snap.spans[i].start_ticks, snap.spans[i - 1].start_ticks);
+  }
+}
+
+TEST(Prof, NullScopeSuspendsAndRestores) {
+  Profiler p;
+  {
+    ProfScope outer(&p);
+    { PFAIR_PROF_SPAN(kWarp); }
+    {
+      ProfScope suspend(nullptr);
+      EXPECT_FALSE(prof::active());
+      PFAIR_PROF_SPAN(kFingerprint);  // must vanish
+    }
+    EXPECT_TRUE(prof::active());
+    { PFAIR_PROF_SPAN(kWarp); }
+  }
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(entry(snap, Phase::kWarp).count, 2);
+  EXPECT_EQ(snap.find(Phase::kFingerprint), nullptr);
+  EXPECT_EQ(snap.spans_recorded, 2u);
+}
+
+TEST(Prof, ThreadsMergeIntoOneSnapshot) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 10;
+  Profiler p;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&p] {
+      ProfScope scope(&p);
+      for (int i = 0; i < kSpansEach; ++i) {
+        PFAIR_PROF_SPAN(kSimulate);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const ProfileSnapshot snap = p.snapshot();
+  EXPECT_EQ(snap.threads, kThreads);
+  EXPECT_EQ(snap.spans_recorded,
+            static_cast<std::uint64_t>(kThreads * kSpansEach));
+  EXPECT_EQ(entry(snap, Phase::kSimulate).count, kThreads * kSpansEach);
+}
+
+TEST(Prof, JsonAndMetricsExpositionsCarryTheSnapshot) {
+  Profiler p;
+  {
+    ProfScope scope(&p);
+    PFAIR_PROF_SPAN(kSimulate);
+    { PFAIR_PROF_SPAN(kCalendarWalk); }
+    { PFAIR_PROF_SPAN(kCalendarWalk); }
+  }
+  const ProfileSnapshot snap = p.snapshot();
+
+  const JsonValue doc = parse_json(prof::profile_to_json(snap));
+  const JsonValue& phases = doc.at("phases");
+  EXPECT_EQ(phases.at("simulate").at("count").integer, 1);
+  EXPECT_EQ(phases.at("calendar_walk").at("count").integer, 2);
+  EXPECT_EQ(doc.at("spans_recorded").integer, 3);
+  EXPECT_EQ(doc.at("clock").string, prof::clock_name());
+
+  MetricsRegistry reg;
+  prof::publish_profile(snap, reg);
+  const MetricsSnapshot m = reg.snapshot();
+  EXPECT_EQ(m.counter_or("prof.simulate.count"), 1);
+  EXPECT_EQ(m.counter_or("prof.calendar_walk.count"), 2);
+  EXPECT_GE(m.counter_or("prof.simulate.total_ns"),
+            m.counter_or("prof.simulate.self_ns"));
+}
+
+// --- histogram algebra -------------------------------------------------
+
+std::vector<std::int64_t> bucket_vector(const Histogram& h) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(Histogram::kBuckets));
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    v[static_cast<std::size_t>(b)] = h.bucket(b);
+  }
+  return v;
+}
+
+void expect_same(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(bucket_vector(a), bucket_vector(b));
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  for (std::int64_t x : {0, 1, 2, 3, 1000}) a.add(x);
+  for (std::int64_t x : {-5, 7, 1 << 20}) b.add(x);
+  c.add(std::int64_t{1} << 40);  // c deliberately skewed; b holds x <= 0
+
+  Histogram ab_c;  // (a + b) + c
+  ab_c.merge_from(a);
+  ab_c.merge_from(b);
+  ab_c.merge_from(c);
+  Histogram a_bc;  // a + (b + c)
+  {
+    Histogram bc;
+    bc.merge_from(b);
+    bc.merge_from(c);
+    a_bc.merge_from(a);
+    a_bc.merge_from(bc);
+  }
+  Histogram cba;  // reversed order
+  cba.merge_from(c);
+  cba.merge_from(b);
+  cba.merge_from(a);
+  expect_same(ab_c, a_bc);
+  expect_same(ab_c, cba);
+
+  // Merging an empty histogram is the identity (sentinel min/max must
+  // not leak through).
+  Histogram with_empty;
+  with_empty.merge_from(a);
+  with_empty.merge_from(Histogram{});
+  expect_same(with_empty, a);
+}
+
+TEST(Histogram, QuantilesMonotoneAndExactAtExtremes) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q");
+  for (std::int64_t i = 1; i <= 1000; ++i) h.add(i * i);
+  const HistogramSnapshot snap = reg.snapshot().histograms.at("q");
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0 * 1000.0);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+  // The median of i^2 over i in [1,1000] is ~500^2; log2 buckets bound
+  // the interpolation error to the bucket's value range (one octave).
+  const double med = snap.quantile(0.5);
+  EXPECT_GT(med, 500.0 * 500.0 / 2.0);
+  EXPECT_LT(med, 500.0 * 500.0 * 2.0);
+}
+
+TEST(Histogram, ConcurrentAddAndMergeLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 20000;
+  Histogram src;
+  Histogram acc;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&src, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        src.add((t * kPerThread + i) % 4096);
+      }
+    });
+  }
+  // One thread repeatedly folds the (moving) source into an accumulator
+  // while the adders hammer it: merge_from must stay safe, and a final
+  // quiescent merge must observe every sample.
+  workers.emplace_back([&src, &acc, &go] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (int i = 0; i < 50; ++i) {
+      Histogram scratch;
+      scratch.merge_from(src);
+      acc.merge_from(scratch);  // exercises concurrent-read safety
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(src.count(), kThreads * kPerThread);
+  std::int64_t bucketed = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) bucketed += src.bucket(b);
+  EXPECT_EQ(bucketed, src.count());
+}
+
+// --- quality counters: incremental == offline recount ------------------
+
+constexpr Policy kAllPolicies[] = {Policy::kEpdf, Policy::kPf, Policy::kPd,
+                                   Policy::kPd2};
+constexpr int kSeeds = 25;
+
+TaskSystem make_system(int seed) {
+  GeneratorConfig cfg;
+  cfg.processors = 2 + seed % 5;
+  cfg.target_util = Rational(cfg.processors) - Rational(1, 2 + seed % 3);
+  cfg.weights = static_cast<WeightClass>(seed % 4);
+  cfg.horizon = 12 + (seed % 4) * 8;
+  cfg.seed = 4242 + static_cast<std::uint64_t>(seed);
+  TaskSystem sys = generate_periodic(cfg);
+  const auto s = static_cast<std::uint64_t>(seed);
+  switch (seed % 3) {
+    case 1:
+      sys = add_is_jitter(sys, 3, 1, 3, s);
+      break;
+    case 2:
+      sys = advance_eligibility(sys, 2, 1, 4, s);
+      break;
+    default:
+      break;
+  }
+  return sys;
+}
+
+struct FailureLog {
+  std::mutex mu;
+  std::atomic<int> count{0};
+  std::string first;
+
+  void record(const std::string& what) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    if (first.empty()) first = what;
+  }
+};
+
+TEST(Quality, SfqIncrementalMatchesRecountAcrossSeedsAndPolicies) {
+  FailureLog failures;
+  global_pool().parallel_for(0, kSeeds * 4, [&](std::int64_t i) {
+    const int seed = static_cast<int>(i / 4);
+    const Policy policy = kAllPolicies[i % 4];
+    const TaskSystem sys = make_system(seed);
+    SfqOptions opts;
+    opts.policy = policy;
+    QualityCounters live;
+    opts.quality = &live;
+    const SlotSchedule sched = schedule_sfq(sys, opts);
+    if (!sched.complete()) return;  // recount needs a full schedule
+    const QualityCounters offline = recount_quality(sys, sched);
+    if (live != offline) {
+      failures.record("seed " + std::to_string(seed) + " " +
+                      to_string(policy) + ": " + quality_to_string(live) +
+                      " vs recount " + quality_to_string(offline));
+    }
+  });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+TEST(Quality, DvqIncrementalMatchesRecountAcrossSeedsAndPolicies) {
+  FailureLog failures;
+  global_pool().parallel_for(0, kSeeds * 4, [&](std::int64_t i) {
+    const int seed = static_cast<int>(i / 4);
+    const Policy policy = kAllPolicies[i % 4];
+    const TaskSystem sys = make_system(seed);
+    const BernoulliYield yields(static_cast<std::uint64_t>(seed) * 7919 + 3,
+                                1, 3, kTick, kQuantum - kTick);
+    DvqOptions opts;
+    opts.policy = policy;
+    QualityCounters live;
+    opts.quality = &live;
+    const DvqSchedule sched = schedule_dvq(sys, yields, opts);
+    if (!sched.complete()) return;
+    const QualityCounters offline = recount_quality(sys, sched);
+    if (live != offline) {
+      failures.record("seed " + std::to_string(seed) + " " +
+                      to_string(policy) + ": " + quality_to_string(live) +
+                      " vs recount " + quality_to_string(offline));
+    }
+  });
+  EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+}  // namespace
+}  // namespace pfair

@@ -21,7 +21,13 @@
 //                              complete events, decisions as instants;
 //                              open with Perfetto "legacy trace")
 //   --metrics=<path>           per-run metrics snapshot as JSON
+//   --prom=<path>              same snapshot in Prometheus text format
+//                              (exposition 0.0.4; see io/prometheus.hpp)
 //   --svg=<path>               export the schedule as an SVG figure
+//   --profile                  run under the self-profiler and print a
+//                              per-phase time breakdown (obs/prof.hpp);
+//                              with --chrome-trace the spans land in the
+//                              trace as a second "profiler" process
 //   --audit                    run the online invariant auditor alongside
 //                              the scheduler (obs/audit.hpp); findings are
 //                              printed and force a nonzero exit
@@ -34,14 +40,21 @@
 //                              the detected prefix/cycle split.
 //   --quiet                    suppress the rendered schedule
 //
-// --trace/--metrics/--chrome-trace/--audit cover sfq and dvq; the
-// staggered model keeps its own loop and is not instrumented.  Under
-// --fast-forward the sfq trace/audit sinks are fed by replaying the
-// decision stream of the compressed schedule (--metrics still needs a
-// live run and is ignored); the dvq fast-forward path has no replay, so
-// observability flags are ignored there.
+// --trace/--metrics/--prom/--chrome-trace/--audit cover sfq and dvq;
+// the staggered model keeps its own loop and is not instrumented.
+// Under --fast-forward the sfq trace/audit sinks are fed by replaying
+// the decision stream of the compressed schedule (--metrics/--prom
+// still need a live run and are ignored); the dvq fast-forward path has
+// no replay, so observability flags are ignored there.
+//
+// Live sfq/dvq runs additionally maintain scheduler-quality counters
+// (preemptions, migrations, idle capacity, context switches) and verify
+// them against the offline recount (analysis/recount.hpp); a mismatch
+// is a scheduler bug and forces a nonzero exit.
 //
 // The task file format is documented in src/io/parse.hpp.
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -63,10 +76,12 @@ struct CliOptions {
   std::string trace_path;
   std::string chrome_path;
   std::string metrics_path;
+  std::string prom_path;
   std::string svg_path;
   std::string capture_path;
   bool audit = false;
   bool fast_forward = false;
+  bool profile = false;
   bool quiet = false;
   bool demo = false;
   std::string demo_name = "fig6";
@@ -81,9 +96,10 @@ struct CliOptions {
                "[--seed=N] [--csv=PATH]\n"
                "                [--trace=PATH] [--chrome-trace=PATH] "
                "[--metrics=PATH]\n"
-               "                [--svg=PATH] [--audit] [--capture=PATH] "
-               "[--fast-forward]\n"
-               "                [--quiet] (<taskfile> | --demo[=NAME])\n"
+               "                [--prom=PATH] [--svg=PATH] [--audit] "
+               "[--capture=PATH]\n"
+               "                [--fast-forward] [--profile] [--quiet] "
+               "(<taskfile> | --demo[=NAME])\n"
                "demo names: " << figure_scenario_names() << "\n";
   std::exit(2);
 }
@@ -136,6 +152,8 @@ CliOptions parse_cli(int argc, char** argv) {
       o.chrome_path = value("--chrome-trace=");
     } else if (arg.rfind("--metrics=", 0) == 0) {
       o.metrics_path = value("--metrics=");
+    } else if (arg.rfind("--prom=", 0) == 0) {
+      o.prom_path = value("--prom=");
     } else if (arg.rfind("--svg=", 0) == 0) {
       o.svg_path = value("--svg=");
     } else if (arg.rfind("--capture=", 0) == 0) {
@@ -145,6 +163,8 @@ CliOptions parse_cli(int argc, char** argv) {
       o.audit = true;
     } else if (arg == "--fast-forward") {
       o.fast_forward = true;
+    } else if (arg == "--profile") {
+      o.profile = true;
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "--demo") {
@@ -229,28 +249,45 @@ void print_cycle_stats(const CycleStats& st) {
 }
 
 int run(const CliOptions& o) {
+  // Calibrate the profiling clock before the measured window opens, so
+  // the one-time steady_clock comparison is not attributed to a phase
+  // (or charged against the wall time the breakdown is judged by).
+  prof::Profiler profiler;
+  std::optional<prof::ProfScope> prof_scope;
+  if (o.profile) {
+    (void)prof::ns_per_tick();
+    prof_scope.emplace(&profiler);
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+
   std::optional<TaskSystem> sys;
   std::shared_ptr<ScriptedYield> demo_yields;
-  if (o.demo) {
-    auto scenario = figure_scenario_by_name(o.demo_name);
-    if (!scenario.has_value()) {
-      usage("unknown demo '" + o.demo_name + "' (have " +
-            figure_scenario_names() + ")");
+  {
+    PFAIR_PROF_SPAN(kParse);
+    if (o.demo) {
+      auto scenario = figure_scenario_by_name(o.demo_name);
+      if (!scenario.has_value()) {
+        usage("unknown demo '" + o.demo_name + "' (have " +
+              figure_scenario_names() + ")");
+      }
+      sys.emplace(std::move(scenario->system));
+      demo_yields = std::move(scenario->yields);
+    } else {
+      std::ifstream f(o.file);
+      if (!f.good()) {
+        std::cerr << "pfairsim: cannot open " << o.file << "\n";
+        return 2;
+      }
+      sys.emplace(parse_task_file(f).build());
     }
-    sys.emplace(std::move(scenario->system));
-    demo_yields = std::move(scenario->yields);
-  } else {
-    std::ifstream f(o.file);
-    if (!f.good()) {
-      std::cerr << "pfairsim: cannot open " << o.file << "\n";
-      return 2;
-    }
-    sys.emplace(parse_task_file(f).build());
   }
 
-  std::cout << "system: " << sys->summary() << "\n";
-  std::cout << "policy: " << to_string(o.policy) << ", feasible: "
-            << std::boolalpha << sys->feasible() << "\n\n";
+  {
+    PFAIR_PROF_SPAN(kRender);
+    std::cout << "system: " << sys->summary() << "\n";
+    std::cout << "policy: " << to_string(o.policy) << ", feasible: "
+              << std::boolalpha << sys->feasible() << "\n\n";
+  }
 
   // A figure's scripted yields drive the run unless --yield overrides.
   std::unique_ptr<YieldModel> cli_yields;
@@ -270,7 +307,8 @@ int run(const CliOptions& o) {
   const bool stag = o.model == CliOptions::Model::kStaggered;
   const bool dvq_ff = o.fast_forward && o.model == CliOptions::Model::kDvq;
   const bool wants_obs = !o.trace_path.empty() || !o.chrome_path.empty() ||
-                         !o.metrics_path.empty() || o.audit;
+                         !o.metrics_path.empty() || !o.prom_path.empty() ||
+                         o.audit;
   if (stag && wants_obs) {
     std::cerr << "pfairsim: warning: --trace/--chrome-trace/--metrics/"
                  "--audit are not supported for --model=stag; ignoring\n";
@@ -285,77 +323,128 @@ int run(const CliOptions& o) {
                  "--metrics/--audit\n";
   }
   if (o.fast_forward && o.model == CliOptions::Model::kSfq &&
-      !o.metrics_path.empty()) {
-    std::cerr << "pfairsim: warning: --metrics needs a live instrumented "
-                 "run; ignoring it under --fast-forward\n";
+      (!o.metrics_path.empty() || !o.prom_path.empty())) {
+    std::cerr << "pfairsim: warning: --metrics/--prom need a live "
+                 "instrumented run; ignoring them under --fast-forward\n";
   }
   // Observability sinks are built for live sfq/dvq runs and for the sfq
-  // fast-forward path (fed by decision replay).  --metrics counts
-  // scheduler internals a replay cannot reconstruct, so it is live-only.
+  // fast-forward path (fed by decision replay).  --metrics/--prom count
+  // scheduler internals a replay cannot reconstruct, so they are
+  // live-only; the same goes for the quality counters.
   const bool obs = !stag && !dvq_ff;
   MetricsRegistry reg;
   MetricsRegistry* metrics =
-      obs && !o.fast_forward && !o.metrics_path.empty() ? &reg : nullptr;
+      obs && !o.fast_forward &&
+              (!o.metrics_path.empty() || !o.prom_path.empty())
+          ? &reg
+          : nullptr;
+  const bool want_quality = obs && !o.fast_forward;
+  QualityCounters qual;
+  bool quality_ok = true;
+  // Prints the counters and verifies them against the offline recount —
+  // a mismatch means the incremental accounting diverged from the
+  // schedule itself, i.e. a bug.
+  const auto verify_quality = [&](const auto& sched) {
+    if (!want_quality) return;
+    PFAIR_PROF_SPAN(kAnalysis);
+    std::cout << "quality: " << quality_to_string(qual);
+    if (!sched.complete()) {
+      std::cout << " (recount skipped: incomplete schedule)\n";
+      return;
+    }
+    const QualityCounters recount = recount_quality(*sys, sched);
+    if (qual == recount) {
+      std::cout << " (recount: match)\n";
+    } else {
+      quality_ok = false;
+      std::cout << " (recount: MISMATCH)\n";
+      std::cout << "recount: " << quality_to_string(recount) << "\n";
+    }
+  };
   std::ofstream trace_f;
   std::unique_ptr<JsonlSink> jsonl;
-  if (obs && !o.trace_path.empty()) {
-    trace_f.open(o.trace_path);
-    if (!trace_f) {
-      std::cerr << "pfairsim: cannot open " << o.trace_path << "\n";
-      return 2;
-    }
-    jsonl = std::make_unique<JsonlSink>(trace_f);
-  }
   std::unique_ptr<RingBufferSink> ring;
-  if (obs && !o.chrome_path.empty()) {
-    // With --metrics the ring also publishes its drop count.
-    ring = metrics != nullptr
-               ? std::make_unique<RingBufferSink>(std::size_t{1} << 18, reg)
-               : std::make_unique<RingBufferSink>(std::size_t{1} << 18);
-  }
   std::unique_ptr<InvariantAuditor> auditor;
   std::unique_ptr<CounterexampleRecorder> recorder;
-  if (obs && o.audit) {
-    auditor = std::make_unique<InvariantAuditor>(*sys);
-    if (metrics != nullptr) auditor->attach_metrics(reg);
-    if (!o.capture_path.empty()) {
-      const bool dvq = o.model == CliOptions::Model::kDvq;
-      CaptureBundle proto = CaptureBundle::prototype(
-          *sys, dvq ? "dvq" : "sfq", o.policy, /*horizon_limit=*/0, o.seed);
-      if (dvq) proto.yields = yield_spec_for_capture(o, *sys, *yields);
-      recorder = std::make_unique<CounterexampleRecorder>(std::move(proto));
-      auditor->set_finding_callback(
-          [&r = *recorder](const AuditFinding& f) { r.record(f); });
+  std::vector<std::unique_ptr<TeeSink>> tees;
+  TraceSink* sink = nullptr;
+  {
+    // Sink setup is real work — the chrome-trace ring alone zero-fills
+    // megabytes — so it gets a construction span of its own.
+    PFAIR_PROF_SPAN(kConstruction);
+    if (obs && !o.trace_path.empty()) {
+      trace_f.open(o.trace_path);
+      if (!trace_f) {
+        std::cerr << "pfairsim: cannot open " << o.trace_path << "\n";
+        return 2;
+      }
+      jsonl = std::make_unique<JsonlSink>(trace_f);
+    }
+    if (obs && !o.chrome_path.empty()) {
+      // With --metrics the ring also publishes its drop count.
+      ring = metrics != nullptr
+                 ? std::make_unique<RingBufferSink>(std::size_t{1} << 18,
+                                                    reg)
+                 : std::make_unique<RingBufferSink>(std::size_t{1} << 18);
+    }
+    if (obs && o.audit) {
+      auditor = std::make_unique<InvariantAuditor>(*sys);
+      if (metrics != nullptr) auditor->attach_metrics(reg);
+      if (!o.capture_path.empty()) {
+        const bool dvq = o.model == CliOptions::Model::kDvq;
+        CaptureBundle proto = CaptureBundle::prototype(
+            *sys, dvq ? "dvq" : "sfq", o.policy, /*horizon_limit=*/0,
+            o.seed);
+        if (dvq) proto.yields = yield_spec_for_capture(o, *sys, *yields);
+        recorder =
+            std::make_unique<CounterexampleRecorder>(std::move(proto));
+        auditor->set_finding_callback(
+            [&r = *recorder](const AuditFinding& f) { r.record(f); });
+      }
+    }
+
+    // Fold the active sinks into one tee chain.  The recorder sits
+    // first so the triggering event is already in its prefix when the
+    // auditor's finding callback fires.
+    std::vector<TraceSink*> sinks;
+    if (recorder != nullptr) sinks.push_back(recorder.get());
+    if (auditor != nullptr) sinks.push_back(auditor.get());
+    if (jsonl != nullptr) sinks.push_back(jsonl.get());
+    if (ring != nullptr) sinks.push_back(ring.get());
+    for (TraceSink* s : sinks) {
+      if (sink == nullptr) {
+        sink = s;
+      } else {
+        tees.push_back(std::make_unique<TeeSink>(sink, s));
+        sink = tees.back().get();
+      }
     }
   }
 
-  // Fold the active sinks into one tee chain.  The recorder sits first
-  // so the triggering event is already in its prefix when the auditor's
-  // finding callback fires.
-  std::vector<TraceSink*> sinks;
-  if (recorder != nullptr) sinks.push_back(recorder.get());
-  if (auditor != nullptr) sinks.push_back(auditor.get());
-  if (jsonl != nullptr) sinks.push_back(jsonl.get());
-  if (ring != nullptr) sinks.push_back(ring.get());
-  std::vector<std::unique_ptr<TeeSink>> tees;
-  TraceSink* sink = nullptr;
-  for (TraceSink* s : sinks) {
-    if (sink == nullptr) {
-      sink = s;
-    } else {
-      tees.push_back(std::make_unique<TeeSink>(sink, s));
-      sink = tees.back().get();
+  // With --chrome-trace the export also carries the ring's drop count
+  // and (under --profile) the profiler spans, on a second process row.
+  prof::ProfileSnapshot psnap;
+  const auto chrome_extras = [&](const std::vector<TraceEvent>& events) {
+    ChromeTraceExtras ex;
+    ex.events = events;
+    if (ring != nullptr) ex.events_dropped = ring->dropped();
+    if (o.profile) {
+      psnap = profiler.snapshot();
+      ex.profile = &psnap;
     }
-  }
+    return ex;
+  };
 
   TardinessSummary tard;
   if (o.model == CliOptions::Model::kSfq) {
     SfqOptions so;
     so.policy = o.policy;
     const SlotSchedule sched = [&]() -> SlotSchedule {
+      PFAIR_PROF_SPAN(kSimulate);
       if (!o.fast_forward) {
         so.trace = sink;
         so.metrics = metrics;
+        so.quality = want_quality ? &qual : nullptr;
         return schedule_sfq(*sys, so);
       }
       // Compressed run first; the trace/audit sinks then see the exact
@@ -366,27 +455,36 @@ int run(const CliOptions& o) {
       return cyc.materialize(cyc.horizon());
     }();
     if (!o.quiet) {
+      PFAIR_PROF_SPAN(kRender);
       std::cout << render_slot_schedule(*sys, sched) << "\n\n";
     }
-    const ValidityReport rep = check_slot_schedule(*sys, sched);
-    std::cout << "validity: " << rep.str() << "\n";
-    tard = measure_tardiness(*sys, sched);
-    if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
+    {
+      PFAIR_PROF_SPAN(kAnalysis);
+      const ValidityReport rep = check_slot_schedule(*sys, sched);
+      std::cout << "validity: " << rep.str() << "\n";
+      tard = measure_tardiness(*sys, sched);
+      if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
+    }
+    verify_quality(sched);
     if (!o.csv_path.empty()) {
+      PFAIR_PROF_SPAN(kExport);
       export_slot_schedule(*sys, sched).write_file(o.csv_path);
     }
     if (!o.chrome_path.empty()) {
+      PFAIR_PROF_SPAN(kExport);
       std::ofstream f(o.chrome_path);
       const std::vector<TraceEvent> events =
           ring != nullptr ? ring->snapshot() : std::vector<TraceEvent>{};
-      f << export_chrome_trace(*sys, sched, events);
+      f << export_chrome_trace(*sys, sched, chrome_extras(events));
     }
     if (!o.svg_path.empty()) {
+      PFAIR_PROF_SPAN(kRender);
       std::ofstream f(o.svg_path);
       f << render_slot_schedule_svg(*sys, sched);
     }
   } else {
     DvqSchedule sched = [&]() -> DvqSchedule {
+      PFAIR_PROF_SPAN(kSimulate);
       if (o.model == CliOptions::Model::kDvq) {
         DvqOptions dopts;
         dopts.policy = o.policy;
@@ -400,6 +498,7 @@ int run(const CliOptions& o) {
         }
         dopts.trace = sink;
         dopts.metrics = metrics;
+        dopts.quality = want_quality ? &qual : nullptr;
         return schedule_dvq(*sys, *yields, dopts);
       }
       StaggeredOptions sopts;
@@ -407,37 +506,59 @@ int run(const CliOptions& o) {
       return schedule_staggered(*sys, *yields, sopts);
     }();
     if (!o.quiet) {
+      PFAIR_PROF_SPAN(kRender);
       std::cout << render_dvq_schedule(*sys, sched) << "\n\n";
     }
-    std::cout << "validity (one-quantum allowance): "
-              << check_dvq_schedule(*sys, sched, kQuantum).str() << "\n";
-    tard = measure_tardiness(*sys, sched);
-    if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
+    {
+      PFAIR_PROF_SPAN(kAnalysis);
+      std::cout << "validity (one-quantum allowance): "
+                << check_dvq_schedule(*sys, sched, kQuantum).str() << "\n";
+      tard = measure_tardiness(*sys, sched);
+      if (metrics != nullptr) record_tardiness_metrics(*sys, sched, reg);
+    }
+    verify_quality(sched);
     if (!o.csv_path.empty()) {
+      PFAIR_PROF_SPAN(kExport);
       export_dvq_schedule(*sys, sched).write_file(o.csv_path);
     }
     if (!o.chrome_path.empty()) {
+      PFAIR_PROF_SPAN(kExport);
       std::ofstream f(o.chrome_path);
       const std::vector<TraceEvent> events =
           ring != nullptr ? ring->snapshot() : std::vector<TraceEvent>{};
-      f << export_chrome_trace(*sys, sched, events);
+      f << export_chrome_trace(*sys, sched, chrome_extras(events));
     }
     if (!o.svg_path.empty()) {
+      PFAIR_PROF_SPAN(kRender);
       std::ofstream f(o.svg_path);
       f << render_dvq_schedule_svg(*sys, sched);
     }
   }
   if (jsonl != nullptr) {
+    PFAIR_PROF_SPAN(kRender);
     std::cout << "trace: " << jsonl->lines() << " events -> " << o.trace_path
               << "\n";
   }
   if (metrics != nullptr) {
-    std::ofstream f(o.metrics_path);
-    f << metrics_to_json(reg.snapshot(), 2) << "\n";
-    std::cout << "metrics written to " << o.metrics_path << "\n";
+    PFAIR_PROF_SPAN(kExport);
+    // One exposition carries everything: scheduler internals, the
+    // quality counters, and (under --profile) the per-phase profile.
+    if (want_quality) publish_quality(qual, reg);
+    if (o.profile) prof::publish_profile(profiler.snapshot(), reg);
+    if (!o.metrics_path.empty()) {
+      std::ofstream f(o.metrics_path);
+      f << metrics_to_json(reg.snapshot(), 2) << "\n";
+      std::cout << "metrics written to " << o.metrics_path << "\n";
+    }
+    if (!o.prom_path.empty()) {
+      std::ofstream f(o.prom_path);
+      f << metrics_to_prometheus(reg.snapshot());
+      std::cout << "prometheus metrics written to " << o.prom_path << "\n";
+    }
   }
   bool audit_failed = false;
   if (auditor != nullptr) {
+    PFAIR_PROF_SPAN(kRender);
     if (auditor->clean()) {
       std::cout << "audit: clean (" << auditor->model() << " model)\n";
     } else {
@@ -466,17 +587,44 @@ int run(const CliOptions& o) {
     }
   }
 
-  std::cout << "tardiness: max " << tard.max_quanta() << " quanta, "
-            << tard.late_subtasks << "/" << tard.total_subtasks
-            << " subtasks late";
-  if (tard.unscheduled > 0) {
-    std::cout << ", " << tard.unscheduled << " UNSCHEDULED";
+  {
+    PFAIR_PROF_SPAN(kRender);
+    std::cout << "tardiness: max " << tard.max_quanta() << " quanta, "
+              << tard.late_subtasks << "/" << tard.total_subtasks
+              << " subtasks late";
+    if (tard.unscheduled > 0) {
+      std::cout << ", " << tard.unscheduled << " UNSCHEDULED";
+    }
+    std::cout << "\n";
+    if (!o.csv_path.empty()) {
+      std::cout << "schedule exported to " << o.csv_path << "\n";
+    }
   }
-  std::cout << "\n";
-  if (!o.csv_path.empty()) {
-    std::cout << "schedule exported to " << o.csv_path << "\n";
+
+  if (o.profile) {
+    // Wall time is clocked before snapshotting so the breakdown is
+    // judged against the work it actually covered.
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    prof_scope.reset();
+    const prof::ProfileSnapshot snap = profiler.snapshot();
+    const double attr_ms = snap.attributed_ns() / 1e6;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "\nprofile (%s): wall %.3f ms, attributed %.3f ms "
+                  "(%.1f%%)\n",
+                  snap.clock.c_str(), wall_ms, attr_ms,
+                  wall_ms > 0 ? 100.0 * attr_ms / wall_ms : 0.0);
+    std::cout << line << snap.table();
   }
-  return tard.none_late() && !audit_failed ? 0 : 1;
+
+  if (!quality_ok) {
+    std::cerr << "pfairsim: quality counters diverged from the offline "
+                 "recount\n";
+  }
+  return tard.none_late() && !audit_failed && quality_ok ? 0 : 1;
 }
 
 }  // namespace
