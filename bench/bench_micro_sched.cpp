@@ -29,6 +29,22 @@ TaskSystem make_system(int m, std::int64_t horizon, std::uint64_t seed) {
   return generate_periodic(cfg);
 }
 
+/// Attaches per-decision cost to a whole-schedule benchmark: one
+/// "decision" is one subtask placement, so ns_per_decision is the
+/// wall time divided by placements — comparable across system sizes
+/// where raw iteration time is not.  Shown on the console next to the
+/// wall time and captured as an extra <name>/ns_per_decision case in
+/// the pfair-bench-v1 report.
+void report_decisions(benchmark::State& state, std::int64_t per_iter) {
+  const auto total =
+      static_cast<double>(state.iterations() * per_iter);
+  state.SetItemsProcessed(state.iterations() * per_iter);
+  state.counters["decisions_per_s"] =
+      benchmark::Counter(total, benchmark::Counter::kIsRate);
+  state.counters["ns_per_decision"] = benchmark::Counter(
+      total, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
 void BM_WindowMath(benchmark::State& state) {
   const Weight w(8, 11);
   std::int64_t i = 1;
@@ -82,7 +98,7 @@ void BM_SfqSchedule(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_sfq(sys, opts));
   }
-  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+  report_decisions(state, sys.total_subtasks());
 }
 BENCHMARK(BM_SfqSchedule)
     ->Args({4, static_cast<int>(Policy::kEpdf)})
@@ -99,7 +115,7 @@ void BM_SfqScheduleIndexed(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_sfq_indexed(sys, opts));
   }
-  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+  report_decisions(state, sys.total_subtasks());
 }
 BENCHMARK(BM_SfqScheduleIndexed)->Arg(4)->Arg(8)->Arg(16);
 
@@ -108,7 +124,7 @@ void BM_PdbSchedule(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_pdb(sys));
   }
-  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+  report_decisions(state, sys.total_subtasks());
 }
 BENCHMARK(BM_PdbSchedule)->Arg(4)->Arg(8);
 
@@ -119,7 +135,7 @@ void BM_DvqSchedule(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_dvq(sys, yields));
   }
-  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+  report_decisions(state, sys.total_subtasks());
 }
 BENCHMARK(BM_DvqSchedule)->Arg(4)->Arg(8)->Arg(16);
 
@@ -129,7 +145,7 @@ void BM_StaggeredSchedule(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_staggered(sys, yields));
   }
-  state.SetItemsProcessed(state.iterations() * sys.total_subtasks());
+  report_decisions(state, sys.total_subtasks());
 }
 BENCHMARK(BM_StaggeredSchedule)->Arg(4)->Arg(8);
 
@@ -175,6 +191,17 @@ class CapturingReporter final : public benchmark::ConsoleReporter {
                         : r.real_accumulated_time * 1e9 /
                               static_cast<double>(r.iterations);
       ctx_->add_case(std::move(c));
+      // Whole-schedule benches also report per-decision cost (see
+      // report_decisions); surface it as its own case so the perf
+      // guard can track it directly.
+      const auto it = r.counters.find("decisions_per_s");
+      if (it != r.counters.end() && it->second.value > 0) {
+        pfair::bench::BenchCase d;
+        d.name = r.benchmark_name() + "/ns_per_decision";
+        d.iterations = r.iterations;
+        d.ns_per_op = 1e9 / it->second.value;
+        ctx_->add_case(std::move(d));
+      }
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }

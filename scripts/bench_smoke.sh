@@ -9,13 +9,18 @@ BUILD="${1:-build-rel}"
 cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target \
   bench_fig2_models bench_table1_pdb bench_micro_sched bench_scaling \
-  pfairsim >/dev/null
+  bench_throughput pfairsim >/dev/null
 
 OUT="$BUILD/bench-reports"
 mkdir -p "$OUT"
 "$BUILD/bench/bench_fig2_models" --json="$OUT/BENCH_fig2_models.json" \
   >/dev/null
 "$BUILD/bench/bench_table1_pdb" --json="$OUT/BENCH_table1_pdb.json" \
+  >/dev/null
+# Sustained-throughput bench: exercises the arena-backed steady-state
+# path and its own shape checks (bit-identical schedules, zero arena
+# growth after warmup, a conservative decisions/sec floor).
+"$BUILD/bench/bench_throughput" --json="$OUT/BENCH_throughput.json" \
   >/dev/null
 # Keep the google-benchmark run fast: one cheap case is enough to prove
 # the report path.
@@ -60,7 +65,7 @@ else
 fi
 
 # Opt-in perf regression guard: compares the scheduler hot-path medians
-# against the committed baseline (BENCH_PR6.json); >15% fails.  Off by
+# against the committed baseline (BENCH_PR10.json); >15% fails.  Off by
 # default because wall-clock numbers are machine-specific.
 if [ "${PERF_GUARD:-0}" = "1" ]; then
   python3 scripts/perf_guard.py --build-dir "$BUILD"

@@ -2,7 +2,7 @@
 """Performance regression guard for the scheduler hot paths.
 
 Compares fresh pfair-bench-v1 reports against the committed baseline
-bundle (BENCH_PR6.json at the repo root) and fails if any guarded case
+bundle (BENCH_PR10.json at the repo root) and fails if any guarded case
 regresses by more than the tolerance on its median ns/op.
 
 Usage:
@@ -18,6 +18,8 @@ The guard runs (or reads) four reports:
                fast-forward cases (bench_scaling)
   epdf_dvq     one DVQ experiment, wall-clock only (rides along in the
                bundle for reference; not guarded)
+  throughput   sustained decisions/sec with arena-backed repeated
+               scheduling (bench_throughput); guarded per-call costs
   soak         scale soak with the S1-large tier (PFAIR_SOAK_LARGE=1):
                its own shape check enforces the >= 100x fast-forward
                speedup and the bundle records it in large.ff_speedup
@@ -41,7 +43,7 @@ import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BASELINE = os.path.join(REPO, "BENCH_PR6.json")
+BASELINE = os.path.join(REPO, "BENCH_PR10.json")
 TOLERANCE = 0.15
 
 # (bench target, report name, extra argv, extra env)
@@ -62,6 +64,10 @@ BENCHES = [
     # phase that moved most.
     ("bench_scaling", "scaling", ["--profile"], {}),
     ("bench_epdf_dvq", "epdf_dvq", ["--repeat=5"], {}),
+    # Sustained throughput over the arena-backed steady-state path; its
+    # own shape check enforces bit-identicality and zero steady-state
+    # arena growth.
+    ("bench_throughput", "throughput", [], {}),
     # The S1-large tier's own shape check enforces the >= 100x
     # fast-forward speedup and records it in the bundle's values; it has
     # no guarded ns/op cases (single-shot wall clock).
@@ -73,7 +79,14 @@ GUARDED_PATTERNS = [
     r"^BM_SfqScheduleIndexed/",
     r"^BM_DvqSchedule/",
     r"^sfq_fast/",
+    # SIMD+arena and forced-scalar legs of the P1 sweep: the optimized
+    # path must not regress in either backend.
+    r"^sfq_arena/",
+    r"^sfq_scalar/",
     r"^dvq_fast/",
+    # Steady-state decisions/sec (bench_throughput); ns/op is per
+    # schedule call so large-n cases clear MIN_GUARDED_NS.
+    r"^throughput/",
     # Flyweight task-system construction (bench_scaling); the eager
     # oracle rides along as construction_eager/* unguarded.
     r"^construction/",

@@ -1,0 +1,268 @@
+// Bump-pointer arena for the scheduler hot paths.
+//
+// The fast simulators allocate working state (key tables, heap
+// storage, calendar bucket chunks, warp scratch) whose lifetime is
+// one schedule call or one hyperperiod of the cycle driver.  A bump
+// arena turns those into pointer increments: blocks are grabbed from
+// the system allocator only while the arena grows toward its
+// high-water mark, after which `reset()` rewinds in O(blocks) and
+// every later allocation sequence is served from memory already
+// owned.  That is what makes repeated `schedule_*` calls zero-alloc
+// in steady state (see sched/sfq_scheduler.hpp `SfqOptions::arena`
+// and tests/steady_alloc_test.cpp).
+//
+// reset() does not run destructors — only trivially-destructible
+// payloads belong here (ArenaVector enforces that).  Under
+// AddressSanitizer, reset() re-poisons all recycled memory, so
+// use-after-reset is caught as a heap poison hit instead of silent
+// reuse (tests/arena_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/assert.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PFAIR_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PFAIR_ASAN 1
+#endif
+#endif
+
+#if defined(PFAIR_ASAN)
+#include <sanitizer/asan_interface.h>
+#define PFAIR_ASAN_POISON(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define PFAIR_ASAN_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define PFAIR_ASAN_POISON(p, n) ((void)(p), (void)(n))
+#define PFAIR_ASAN_UNPOISON(p, n) ((void)(p), (void)(n))
+#endif
+
+namespace pfair {
+
+/// Growable bump allocator.  Not thread-safe; one arena per simulator
+/// (or per thread in sweeps).
+class Arena {
+ public:
+  /// `block_bytes` sizes the first block; later blocks grow
+  /// geometrically and oversized requests get a block of their own.
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : first_block_bytes_(block_bytes < kMinBlock ? kMinBlock : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    // Leave no poisoned system memory behind.
+    for (Block& b : blocks_) PFAIR_ASAN_UNPOISON(b.base, b.cap);
+  }
+
+  /// Raw allocation; `align` must be a power of two <= 64.
+  void* alloc(std::size_t bytes, std::size_t align) {
+    PFAIR_ASSERT(align != 0 && (align & (align - 1)) == 0 && align <= 64);
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        const std::size_t aligned = (off_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.cap) {
+          void* p = b.base + aligned;
+          off_ = aligned + bytes;
+          used_ += bytes;
+          if (used_ > high_water_) high_water_ = used_;
+          PFAIR_ASAN_UNPOISON(p, bytes);
+          return p;
+        }
+        // Does not fit the remainder of this block: waste it and move
+        // on (the next block may be an existing recycled one).
+        ++block_;
+        off_ = 0;
+        continue;
+      }
+      grow(bytes + align);
+    }
+  }
+
+  /// Typed array of `n` (uninitialized; trivial T only).
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every allocation (O(blocks), no frees, no destructors).
+  /// Under ASan all recycled memory is poisoned until re-allocated.
+  void reset() {
+    for (Block& b : blocks_) PFAIR_ASAN_POISON(b.base, b.cap);
+    block_ = 0;
+    off_ = 0;
+    used_ = 0;
+    ++resets_;
+  }
+
+  /// Live payload bytes since the last reset (excludes block slack).
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  /// Largest used_bytes() ever observed — the steady-state footprint.
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  /// Total bytes owned (capacity across all blocks).
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t reset_count() const { return resets_; }
+
+ private:
+  static constexpr std::size_t kMinBlock = 1024;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::byte* base;  // data.get() rounded up to a 64-byte boundary
+    std::size_t cap;  // usable bytes from `base`
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t cap = blocks_.empty() ? first_block_bytes_
+                                      : blocks_.back().cap * 2;
+    if (cap < at_least) cap = at_least;
+    // operator new[] only guarantees the default alignment (usually
+    // 16); over-allocate and round the base up so offset alignment
+    // inside the block is alignment in memory, up to the 64-byte max.
+    auto data = std::make_unique<std::byte[]>(cap + 63);
+    auto* base = reinterpret_cast<std::byte*>(
+        (reinterpret_cast<std::uintptr_t>(data.get()) + 63) &
+        ~std::uintptr_t{63});
+    Block b{std::move(data), base, cap};
+    PFAIR_ASAN_POISON(b.base, b.cap);
+    capacity_ += cap;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    off_ = 0;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  // index of the block being bumped
+  std::size_t off_ = 0;    // bump offset inside blocks_[block_]
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t resets_ = 0;
+};
+
+/// Minimal vector over trivially-copyable T whose storage comes from
+/// an Arena when one is supplied (growth copies and abandons the old
+/// span until the next reset) and from the heap otherwise.  Only the
+/// operations the hot paths need.  `kAlign` raises the storage
+/// alignment (e.g. 64 keeps the ready heap's 8-wide child groups on
+/// one cache line).
+template <typename T, std::size_t kAlign = alignof(T)>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(kAlign >= alignof(T) && kAlign <= 64 &&
+                (kAlign & (kAlign - 1)) == 0);
+
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+  ArenaVector(ArenaVector&& o) noexcept { steal(o); }
+  ArenaVector& operator=(ArenaVector&& o) noexcept {
+    if (this != &o) {
+      free_storage();
+      steal(o);
+    }
+    return *this;
+  }
+  ~ArenaVector() { free_storage(); }
+
+  /// Re-binds the backing arena.  Existing contents are discarded;
+  /// callers re-reserve afterwards (the simulators do this once per
+  /// schedule call, before any push).
+  void rebind(Arena* arena) {
+    free_storage();
+    data_ = nullptr;
+    size_ = cap_ = 0;
+    arena_ = arena;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow_to(n);
+  }
+  void resize(std::size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow_to(cap_ == 0 ? 16 : cap_ * 2);
+    data_[size_++] = v;
+  }
+  void pop_back() {
+    PFAIR_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void grow_to(std::size_t n) {
+    T* nd;
+    if (arena_ != nullptr) {
+      nd = static_cast<T*>(arena_->alloc(n * sizeof(T), kAlign));
+    } else if constexpr (kAlign > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      nd = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+    } else {
+      nd = static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    if (size_ != 0) std::memcpy(nd, data_, size_ * sizeof(T));
+    free_storage();
+    data_ = nd;
+    cap_ = n;
+  }
+  void free_storage() {
+    if (arena_ != nullptr || data_ == nullptr) return;
+    if constexpr (kAlign > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(data_, std::align_val_t{kAlign});
+    } else {
+      ::operator delete(data_);
+    }
+  }
+  void steal(ArenaVector& o) {
+    data_ = o.data_;
+    size_ = o.size_;
+    cap_ = o.cap_;
+    arena_ = o.arena_;
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace pfair

@@ -163,7 +163,7 @@ DvqCycleSchedule schedule_dvq_cyclic(const TaskSystem& sys,
   std::optional<DvqSimulator> sim_store;
   {
     PFAIR_PROF_SPAN(kConstruction);
-    sim_store.emplace(sys, yields, opts.policy);
+    sim_store.emplace(sys, yields, opts.policy, opts.arena);
   }
   DvqSimulator& sim = *sim_store;
   const bool probing = opts.trace == nullptr && opts.metrics == nullptr &&

@@ -28,7 +28,7 @@ DvqSchedule schedule_dvq(const TaskSystem& sys, const YieldModel& yields,
   std::optional<DvqSimulator> sim_store;
   {
     PFAIR_PROF_SPAN(kConstruction);
-    sim_store.emplace(sys, yields, opts.policy);
+    sim_store.emplace(sys, yields, opts.policy, opts.arena);
   }
   DvqSimulator& sim = *sim_store;
   if (opts.trace != nullptr) sim.set_trace_sink(opts.trace);

@@ -17,6 +17,7 @@
 
 namespace pfair {
 
+class Arena;             // core/arena.hpp
 class TraceSink;         // obs/trace.hpp
 class MetricsRegistry;   // obs/metrics.hpp
 struct QualityCounters;  // obs/quality.hpp
@@ -40,6 +41,11 @@ struct DvqOptions {
   /// accumulate incrementally with no effect on placements.  Like
   /// trace/metrics, attaching disables cycle fast-forward.
   QualityCounters* quality = nullptr;
+  /// Optional bump arena (not owned; core/arena.hpp) backing the
+  /// simulator's working state, as for SfqOptions::arena.  Must be
+  /// fresh or reset when the run starts; the caller resets it between
+  /// runs.
+  Arena* arena = nullptr;
   /// Steady-state cycle detection (dvq/dvq_cycle.hpp): skip proven-
   /// recurring hyperperiods instead of simulating them.  Engages only
   /// for deterministic/periodic yield models (YieldModel::periodic_costs)

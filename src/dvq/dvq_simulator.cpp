@@ -25,17 +25,28 @@ constexpr auto kLargerProc = [](std::int32_t a, std::int32_t b) {
 }  // namespace
 
 DvqSimulator::DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
-                           Policy policy)
+                           Policy policy, Arena* arena)
     : sys_(&sys),
       yields_(&yields),
       order_(sys, policy),
-      keys_(sys, policy),
-      ready_q_(order_, keys_),
+      keys_(sys, policy, arena),
+      ready_q_(order_, keys_, arena),
       sched_(sys),
-      procs_(static_cast<std::size_t>(sys.processors())),
-      head_(static_cast<std::size_t>(sys.num_tasks()), 0),
-      ready_at_(static_cast<std::size_t>(sys.num_tasks())),
+      procs_(arena),
+      head_(arena),
+      ready_at_(arena),
+      completions_(arena),
+      pending_(arena),
+      free_procs_(arena),
       remaining_(sys.total_subtasks()) {
+  procs_.resize(static_cast<std::size_t>(sys.processors()));
+  head_.resize(static_cast<std::size_t>(sys.num_tasks()));
+  ready_at_.resize(static_cast<std::size_t>(sys.num_tasks()));
+  for (std::size_t pi = 0; pi < procs_.size(); ++pi) procs_[pi] = Proc{};
+  for (std::size_t k = 0; k < head_.size(); ++k) {
+    head_[k] = 0;
+    ready_at_[k] = Time();
+  }
   ready_q_.reserve(head_.size());
   pending_.reserve(head_.size());
   completions_.reserve(procs_.size());

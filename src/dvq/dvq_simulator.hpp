@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "dvq/dvq_schedule.hpp"
 #include "dvq/yield.hpp"
 #include "obs/probe.hpp"
@@ -44,8 +45,11 @@ struct QualityCounters;  // obs/quality.hpp
 /// model must outlive the simulator.
 class DvqSimulator {
  public:
+  /// With `arena`, the working state (key tables, ready heap, event
+  /// queues, per-task/per-processor records) is bump-allocated there
+  /// (the arena must be fresh or reset and outlive the simulator).
   DvqSimulator(const TaskSystem& sys, const YieldModel& yields,
-               Policy policy = Policy::kPd2);
+               Policy policy = Policy::kPd2, Arena* arena = nullptr);
 
   /// True once every subtask has been placed (no events can remain that
   /// would place more work).
@@ -161,9 +165,9 @@ class DvqSimulator {
     bool busy = false;
     Time busy_until;
   };
-  std::vector<Proc> procs_;
-  std::vector<std::int64_t> head_;
-  std::vector<Time> ready_at_;
+  ArenaVector<Proc> procs_;
+  ArenaVector<std::int64_t> head_;
+  ArenaVector<Time> ready_at_;
 
   // Exact event queues (min-heaps via std::push_heap/pop_heap): one
   // completion per busy processor, one pending entry per task awaiting
@@ -176,9 +180,9 @@ class DvqSimulator {
     Time at;
     SubtaskRef ref;
   };
-  std::vector<Completion> completions_;
-  std::vector<Pending> pending_;
-  std::vector<std::int32_t> free_procs_;  // min-heap of idle processors
+  ArenaVector<Completion> completions_;
+  ArenaVector<Pending> pending_;
+  ArenaVector<std::int32_t> free_procs_;  // min-heap of idle processors
 
   std::vector<SubtaskRef> scratch_started_;
   std::vector<SubtaskRef> scratch_ready_;  // instrumented path only

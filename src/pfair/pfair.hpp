@@ -6,8 +6,10 @@
 // paper-to-code map.
 #pragma once
 
+#include "core/arena.hpp"        // IWYU pragma: export
 #include "core/assert.hpp"       // IWYU pragma: export
 #include "core/rational.hpp"     // IWYU pragma: export
+#include "core/simd.hpp"         // IWYU pragma: export
 #include "core/rng.hpp"          // IWYU pragma: export
 #include "core/stats.hpp"        // IWYU pragma: export
 #include "core/thread_pool.hpp"  // IWYU pragma: export

@@ -102,7 +102,7 @@ CycleSchedule schedule_sfq_cyclic(const TaskSystem& sys,
   std::optional<SfqSimulator> sim_store;
   {
     PFAIR_PROF_SPAN(kConstruction);
-    sim_store.emplace(sys, opts.policy);
+    sim_store.emplace(sys, opts.policy, opts.arena);
   }
   SfqSimulator& sim = *sim_store;
   const bool probing = opts.trace == nullptr && opts.metrics == nullptr &&

@@ -20,8 +20,13 @@ int field_bits(std::uint64_t range) {
 
 }  // namespace
 
-PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
-    : sys_(&sys), policy_(policy) {
+PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy, Arena* arena)
+    : sys_(&sys),
+      policy_(policy),
+      off_(arena),
+      e_(arena),
+      base_(arena),
+      step_(arena) {
   PFAIR_PROF_SPAN(kKeyPrecompute);
   // PF's lexicographic successor-bit tie-break has no fixed-width
   // encoding; it keeps the PriorityOrder fallback.  The fault-injection
@@ -73,17 +78,19 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
 
   // PD refines b-bit ties by weight (heavier first): a dense rank over
   // the distinct weights, heaviest = 0, packs that comparison too.
-  std::vector<std::uint64_t> weight_rank;
+  ArenaVector<std::uint64_t> weight_rank(arena);
   std::uint64_t max_rank = 0;
   if (policy_ == Policy::kPd) {
-    std::vector<std::int64_t> by_weight(static_cast<std::size_t>(n));
+    ArenaVector<std::int64_t> by_weight(arena);
+    by_weight.resize(static_cast<std::size_t>(n));
     std::iota(by_weight.begin(), by_weight.end(), std::int64_t{0});
     std::sort(by_weight.begin(), by_weight.end(),
               [&sys](std::int64_t a, std::int64_t b) {
                 return sys.task(a).weight().value() >
                        sys.task(b).weight().value();
               });
-    weight_rank.assign(static_cast<std::size_t>(n), 0);
+    weight_rank.resize(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < weight_rank.size(); ++i) weight_rank[i] = 0;
     for (std::size_t i = 1; i < by_weight.size(); ++i) {
       const bool same = sys.task(by_weight[i]).weight().value() ==
                         sys.task(by_weight[i - 1]).weight().value();
@@ -111,13 +118,44 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
   const int shift_gd = bits_w + bits_t;
   const int shift_d =
       (has_tiebreak_fields ? 1 + bits_gd : 0) + bits_w + bits_t;
-  tasks_.resize(static_cast<std::size_t>(n));
+  deadline_shift_ = shift_d;
+
+  // Size the flat arrays: flyweight tasks contribute min(e, count)
+  // in-period positions, materialized ones a position per subtask.
+  off_.resize(static_cast<std::size_t>(n));
+  e_.resize(static_cast<std::size_t>(n));
+  std::size_t positions = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    const Task& task = sys.task(k);
+    const std::int64_t cnt = task.num_subtasks();
+    off_[static_cast<std::size_t>(k)] = static_cast<std::uint32_t>(positions);
+    if (cnt == 0) {
+      e_[static_cast<std::size_t>(k)] = 0;
+      continue;
+    }
+    if (const WindowTable* wt = task.window_table()) {
+      // e is clamped to the subtask count: when e >= cnt every seq has
+      // job 0 and rem == seq, so the clamp changes nothing — and the
+      // stored value always fits 32 bits (cnt does, seq is int32).
+      e_[static_cast<std::size_t>(k)] =
+          static_cast<std::int32_t>(std::min(wt->e(), cnt));
+      positions += static_cast<std::size_t>(std::min(wt->e(), cnt));
+    } else {
+      e_[static_cast<std::size_t>(k)] = 0;
+      positions += static_cast<std::size_t>(cnt);
+    }
+  }
+  base_.resize(positions);
+  step_.resize(positions);
+
   bool distinct = true;
   for (std::int64_t k = 0; k < n; ++k) {
     const Task& task = sys.task(k);
     const std::int64_t cnt = task.num_subtasks();
-    TaskKeys& tk = tasks_[static_cast<std::size_t>(k)];
     if (cnt == 0) continue;
+    const std::size_t off = off_[static_cast<std::size_t>(k)];
+    std::uint64_t* base = base_.data() + off;
+    std::uint64_t* step = step_.data() + off;
     const auto pack = [&](std::int64_t deadline, bool bbit, std::int64_t gd) {
       std::uint64_t key = static_cast<std::uint64_t>(deadline - min_d);
       if (has_tiebreak_fields) {
@@ -142,22 +180,19 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
       // max_gd - gd) subtracts p from the group-deadline field.
       const std::int64_t e = wt->e();
       const bool heavy = wt->heavy();
-      tk.e = e;
       const std::int64_t nrem = std::min(e, cnt);
-      tk.base.reserve(static_cast<std::size_t>(nrem));
-      tk.step.reserve(static_cast<std::size_t>(nrem));
       for (std::int64_t rem = 0; rem < nrem; ++rem) {
         const bool bbit = wt->bbit_at(rem);
-        tk.base.push_back(
+        base[rem] =
             pack(task.phase() + wt->deadline_at(rem), bbit,
-                 heavy ? task.phase() + wt->group_deadline_at(rem) : 0));
+                 heavy ? task.phase() + wt->group_deadline_at(rem) : 0);
         const std::uint64_t up = static_cast<std::uint64_t>(wt->p())
                                  << shift_d;
         const std::uint64_t down =
             (has_tiebreak_fields && heavy && bbit)
                 ? static_cast<std::uint64_t>(wt->p()) << shift_gd
                 : 0;
-        tk.step.push_back(up - down);
+        step[rem] = up - down;
       }
       // Within one task pseudo-deadlines strictly increase, so the keys
       // must too; a violation would make two live heap entries
@@ -168,7 +203,7 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
       const auto key_at = [&](std::int64_t s) {
         const std::int64_t job = s / e;
         const auto rem = static_cast<std::size_t>(s % e);
-        return tk.base[rem] + static_cast<std::uint64_t>(job) * tk.step[rem];
+        return base[rem] + static_cast<std::uint64_t>(job) * step[rem];
       };
       for (std::int64_t s = 1; s < std::min(cnt, e + 1); ++s) {
         if (key_at(s) <= key_at(s - 1)) distinct = false;
@@ -178,7 +213,6 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
         if (key_at(s) <= key_at(s - 1)) distinct = false;
       }
     } else {
-      tk.base.reserve(static_cast<std::size_t>(cnt));
       std::uint64_t prev = 0;
       for (std::int64_t s = 0; s < cnt; ++s) {
         const Subtask sub = task.subtask_at(s);
@@ -186,12 +220,18 @@ PackedKeys::PackedKeys(const TaskSystem& sys, Policy policy)
             pack(sub.deadline, sub.bbit, sub.group_deadline);
         if (s > 0 && key <= prev) distinct = false;
         prev = key;
-        tk.base.push_back(key);
+        base[static_cast<std::size_t>(s)] = key;
+        step[static_cast<std::size_t>(s)] = 0;
       }
     }
   }
   packable_ = distinct;
-  if (!packable_) tasks_.clear();
+  if (!packable_) {
+    base_.clear();
+    step_.clear();
+    off_.clear();
+    e_.clear();
+  }
 }
 
 }  // namespace pfair

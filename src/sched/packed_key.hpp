@@ -31,6 +31,14 @@
 // of the cycle fast-forward path's O(prefix + cycle + tail) budget.
 // Materialized (IS/GIS-perturbed) tasks keep the per-subtask table.
 //
+// Storage is structure-of-arrays: all bases in one flat array, all
+// steps in another, one (offset, e) pair per task.  Data-oriented
+// consumers (the simulators' position tables, the SIMD batch
+// recompute in warp) read the flat spans directly; `order_key` stays
+// the scalar accessor.  When an Arena is supplied the arrays live
+// there, so repeated constructions are allocation-free in steady
+// state.
+//
 // PF's tie-break walks the successor b-bit string lexicographically and
 // is not a fixed-width tuple; it keeps `compare_pf_bits`.  `packable()`
 // is false for PF (and in the astronomically-unlikely case the summed
@@ -38,18 +46,19 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "core/arena.hpp"
 #include "sched/priority.hpp"
 #include "tasks/task_system.hpp"
 
 namespace pfair {
 
 /// Precomputed packed priority keys for every subtask of one task
-/// system under one policy.  The system must outlive the keys.
+/// system under one policy.  The system (and arena, if any) must
+/// outlive the keys.
 class PackedKeys {
  public:
-  PackedKeys(const TaskSystem& sys, Policy policy);
+  PackedKeys(const TaskSystem& sys, Policy policy, Arena* arena = nullptr);
 
   /// True iff keys were built (policy is EPDF/PD/PD2 and all fields fit
   /// in 64 bits).  When false the key accessors must not be called.
@@ -66,27 +75,51 @@ class PackedKeys {
   /// identical to PriorityOrder::higher over co-ready subtasks (smaller
   /// key = higher priority).
   [[nodiscard]] std::uint64_t order_key(const SubtaskRef& ref) const {
-    const TaskKeys& tk = tasks_[static_cast<std::size_t>(ref.task)];
-    if (tk.e == 0) return tk.base[static_cast<std::size_t>(ref.seq)];
-    const std::int64_t job = ref.seq / tk.e;
-    const auto rem = static_cast<std::size_t>(ref.seq % tk.e);
-    return tk.base[rem] + static_cast<std::uint64_t>(job) * tk.step[rem];
+    const auto k = static_cast<std::size_t>(ref.task);
+    const std::size_t off = off_[k];
+    const std::int32_t e = e_[k];
+    if (e == 0) return base_[off + static_cast<std::size_t>(ref.seq)];
+    const std::int32_t job = ref.seq / e;
+    const auto pos = off + static_cast<std::size_t>(ref.seq % e);
+    return base_[pos] + static_cast<std::uint64_t>(job) * step_[pos];
   }
 
- private:
-  /// One task's compressed keys: `e == 0` means `base` holds one key
-  /// per subtask (materialized task); otherwise `base`/`step` hold one
-  /// entry per in-period position.
-  struct TaskKeys {
-    std::int64_t e = 0;
-    std::vector<std::uint64_t> base;
-    std::vector<std::uint64_t> step;
-  };
+  // -- Flat structure-of-arrays access (valid only while packable()) --
 
+  /// Key compression period of task `k`: 0 means one entry per subtask
+  /// (materialized task, step identically 0); otherwise `e` entries,
+  /// one per in-period position, key(seq) = base[seq%e] + (seq/e) *
+  /// step[seq%e].
+  [[nodiscard]] std::int32_t task_e(std::int64_t k) const {
+    return e_[static_cast<std::size_t>(k)];
+  }
+  /// Offset of task `k`'s entries in base_data()/step_data().
+  [[nodiscard]] std::size_t task_offset(std::int64_t k) const {
+    return off_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] const std::uint64_t* base_data() const { return base_.data(); }
+  [[nodiscard]] const std::uint64_t* step_data() const { return step_.data(); }
+
+  /// Bit position of the pseudo-deadline field inside the packed key
+  /// (valid only while packable()).  `key >> deadline_shift()` is the
+  /// biased deadline d - min_d; the deadline is the most significant
+  /// field, so every key with a larger shifted value compares greater
+  /// than every key with a smaller one regardless of the low bits.
+  /// The ready queue's deadline staging relies on exactly this.
+  [[nodiscard]] int deadline_shift() const { return deadline_shift_; }
+
+ private:
   const TaskSystem* sys_;
   Policy policy_;
-  std::vector<TaskKeys> tasks_;
+  // [task] -> (offset, e); entries at base_[off..off+n): n = e entries
+  // for flyweight tasks (capped at the subtask count), one per subtask
+  // for materialized ones.
+  ArenaVector<std::uint32_t> off_;
+  ArenaVector<std::int32_t> e_;
+  ArenaVector<std::uint64_t> base_;
+  ArenaVector<std::uint64_t> step_;
   int tie_bits_ = 0;
+  int deadline_shift_ = 0;
   bool packable_ = false;
 };
 

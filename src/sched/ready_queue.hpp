@@ -1,4 +1,4 @@
-// The scheduler's incremental ready set: a binary heap of subtask
+// The scheduler's incremental ready set: a priority queue of subtask
 // references ordered by the strict total priority order, so one decision
 // pops only the subtasks it schedules instead of re-scanning and
 // re-sorting every task (O(changes x log n) per decision, not O(n)).
@@ -11,17 +11,52 @@
 // Both realize the identical strict total order, so pop order — and
 // therefore the schedule — is bit-identical across modes.
 //
+// The packed mode is data-oriented, in two tiers:
+//
+//   1. An 8-ary heap over two parallel flat arrays (keys / payloads).
+//      The physical layout is cache-aligned: the root lives at index 7
+//      and the children of node i occupy [8i-48, 8i-41], so every child
+//      group starts at a multiple of 8 — with the arrays 64-byte
+//      aligned (ArenaVector<.., 64>), one simd::argmin8 per level reads
+//      exactly one cache line.  Indices 0..6 are never used, and the
+//      key array keeps 8 UINT64_MAX padding slots past the live end so
+//      lane loads never read garbage.
+//
+//   2. Deadline staging.  The pseudo-deadline is the most significant
+//      key field (PackedKeys::deadline_shift), so an entry whose
+//      deadline slot is beyond the current heap top's cannot be popped
+//      yet no matter its low bits.  Such entries are appended O(1) to a
+//      per-deadline-slot bucket (chunked freelists, like the
+//      simulator's availability calendar) instead of the heap, and a
+//      bucket is drained into the heap only once the heap top reaches
+//      its deadline slot.  The live heap then holds just the imminent-
+//      deadline backlog — a few hundred entries that fit L1 — instead
+//      of every ready subtask, which is what made large systems pay
+//      DRAM latency per sift level.  Pop order is unchanged: a drain
+//      happens strictly before any pop it could influence.
+//
+// Pop order is the sorted key order in every variant (strict total
+// order, keys pairwise distinct by construction), so schedules stay
+// bit-identical across heap arity, staging, and SIMD backend — the A/B
+// suite asserts this.
+//
+// Storage comes from an Arena when one is supplied (zero steady-state
+// allocations across repeated schedule calls); otherwise the heap.
+//
 // Entries are never erased in place.  A task's head subtask enters when
 // it becomes available and normally leaves by being popped; when the
 // instrumented (probe-on) path schedules behind the queue's back, the
-// stale entry stays and callers skip it with `is_current` (an entry is
+// stale entry stays and callers skip it with a head check (an entry is
 // live iff it still names its task's next unscheduled subtask).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "core/arena.hpp"
+#include "core/simd.hpp"
 #include "sched/packed_key.hpp"
 #include "sched/priority.hpp"
 
@@ -31,48 +66,291 @@ class ReadyQueue {
  public:
   /// Both referents must outlive the queue.  Packed mode is used
   /// whenever `keys.packable()`.
-  ReadyQueue(const PriorityOrder& order, const PackedKeys& keys)
-      : order_(&order), keys_(&keys), packed_(keys.packable()) {}
+  ReadyQueue(const PriorityOrder& order, const PackedKeys& keys,
+             Arena* arena = nullptr)
+      : keys_(arena),
+        payload_(arena),
+        stage_head_(arena),
+        stage_chunks_(arena),
+        order_(&order),
+        pkeys_(&keys),
+        packed_(keys.packable()) {
+    if (packed_) {
+      shift_ = keys.deadline_shift();
+      reset_packed();
+    }
+  }
 
-  void reserve(std::size_t n) { heap_.reserve(n); }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  void reserve(std::size_t n) {
+    if (packed_) {
+      keys_.reserve(n + kBase + kPad);
+      payload_.reserve(n + kBase + kPad);
+    } else {
+      fb_.reserve(n);
+    }
+  }
+  [[nodiscard]] bool empty() const {
+    return packed_ ? (n_ == 0 && staged_ == 0) : fb_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return packed_ ? n_ + staged_ : fb_.size();
+  }
   /// Drops every entry (cycle fast-forward rebuilds the ready set from
   /// scratch after a warp — stale refs would otherwise linger forever).
-  void clear() { heap_.clear(); }
+  void clear() {
+    if (!packed_) {
+      fb_.clear();
+      return;
+    }
+    reset_packed();
+    for (std::size_t i = 0; i < stage_head_.size(); ++i) stage_head_[i] = -1;
+    stage_chunks_.clear();
+    stage_free_ = -1;
+    staged_ = 0;
+    frontier_ = 0;
+    stage_min_ = kNoStage;
+  }
+
+  /// Packed-mode push with the key already in hand (the simulators keep
+  /// each task's next key in their hot per-task record, so the queue
+  /// never re-derives it).  Requires packed mode.
+  void push_key(std::uint64_t key, std::int32_t task, std::int32_t seq) {
+    const auto ds = static_cast<std::int64_t>(key >> shift_);
+    if (ds >= frontier_) {
+      stage_push(ds, key, pack_ref(task, seq));
+      return;
+    }
+    heap_push(key, pack_ref(task, seq));
+  }
 
   void push(const SubtaskRef& ref) {
-    heap_.push_back(Entry{packed_ ? keys_->order_key(ref) : 0, ref});
-    std::push_heap(heap_.begin(), heap_.end(), Lower{this});
+    if (packed_) {
+      push_key(pkeys_->order_key(ref), ref.task, ref.seq);
+      return;
+    }
+    fb_.push_back(ref);
+    std::push_heap(fb_.begin(), fb_.end(), Lower{this});
   }
 
   /// Removes and returns the highest-priority entry (possibly stale —
   /// see header note).  Precondition: !empty().
   SubtaskRef pop_best() {
-    std::pop_heap(heap_.begin(), heap_.end(), Lower{this});
-    const SubtaskRef ref = heap_.back().ref;
-    heap_.pop_back();
-    return ref;
+    if (!packed_) {
+      std::pop_heap(fb_.begin(), fb_.end(), Lower{this});
+      const SubtaskRef ref = fb_.back();
+      fb_.pop_back();
+      return ref;
+    }
+    maybe_drain();
+    std::uint64_t* k = keys_.data();
+    std::uint64_t* p = payload_.data();
+    const std::uint64_t top = p[kBase];
+    const std::size_t last = n_ + kBase - 1;
+    const std::uint64_t lk = k[last];
+    const std::uint64_t lp = p[last];
+    --n_;
+    keys_.resize(n_ + kBase + kPad);
+    payload_.resize(n_ + kBase + kPad);
+    k[last] = ~std::uint64_t{0};  // start of the shifted pad window
+    if (n_ != 0) sift_down(lk, lp);
+    return unpack_ref(top);
+  }
+
+  /// The task owning the current best entry (packed mode; !empty()).
+  /// Lets the pop loop prefetch that task's hot record before popping.
+  /// Drains any due deadline bucket, hence non-const.
+  [[nodiscard]] std::int32_t peek_task() {
+    maybe_drain();
+    return static_cast<std::int32_t>(payload_.data()[kBase] >> 32);
   }
 
  private:
-  struct Entry {
-    std::uint64_t key;
-    SubtaskRef ref;
+  // Physical heap layout: root at kBase, children of node i at
+  // [8i - 48, 8i - 41], parent of node j at j/8 + 6; indices 0..kBase-1
+  // unused.  kPad UINT64_MAX sentinels follow the last live slot.
+  static constexpr std::size_t kBase = 7;
+  static constexpr std::size_t kPad = 8;
+  static constexpr std::int64_t kNoStage =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// One fragment of a deadline bucket's entry list: 7 key/payload
+  /// pairs plus the header is 120 bytes — two cache lines.
+  struct StageChunk {
+    static constexpr std::int32_t kCap = 7;
+    std::int32_t count;
+    std::int32_t next;  // next chunk in this bucket (or the freelist)
+    std::uint64_t key[kCap];
+    std::uint64_t pay[kCap];
   };
-  // std::push_heap keeps the *greatest* element on top, so "lower
-  // priority" is the heap's less-than.
+
+  static std::uint64_t pack_ref(std::int32_t task, std::int32_t seq) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(task))
+            << 32) |
+           static_cast<std::uint32_t>(seq);
+  }
+  static SubtaskRef unpack_ref(std::uint64_t p) {
+    return SubtaskRef{static_cast<std::int32_t>(p >> 32),
+                      static_cast<std::int32_t>(p & 0xffffffffu)};
+  }
+
+  /// Empties the heap and re-establishes the pad window [kBase,
+  /// kBase+kPad); the unused low slots are never read.
+  void reset_packed() {
+    n_ = 0;
+    keys_.resize(kBase + kPad);
+    payload_.resize(kBase + kPad);
+    std::uint64_t* k = keys_.data();
+    for (std::size_t i = kBase; i < kBase + kPad; ++i) k[i] = ~std::uint64_t{0};
+  }
+
+  void heap_push(std::uint64_t key, std::uint64_t pay) {
+    const std::size_t ext = n_ + 1 + kBase + kPad;
+    if (ext > keys_.capacity()) {
+      const std::size_t want = std::max<std::size_t>(2 * ext, 64);
+      keys_.reserve(want);
+      payload_.reserve(want);
+    }
+    keys_.resize(ext);
+    payload_.resize(ext);
+    keys_.data()[ext - 1] = ~std::uint64_t{0};  // keep the pad window full
+    ++n_;
+    sift_up(n_ + kBase - 1, key, pay);
+  }
+
+  void sift_up(std::size_t i, std::uint64_t key, std::uint64_t pay) {
+    std::uint64_t* k = keys_.data();
+    std::uint64_t* p = payload_.data();
+    while (i > kBase) {
+      const std::size_t parent = i / 8 + 6;
+      if (k[parent] <= key) break;
+      k[i] = k[parent];
+      p[i] = p[parent];
+      i = parent;
+    }
+    k[i] = key;
+    p[i] = pay;
+  }
+
+  void sift_down(std::uint64_t key, std::uint64_t pay) {
+    std::uint64_t* k = keys_.data();
+    std::uint64_t* p = payload_.data();
+    const std::size_t live_end = n_ + kBase - 1;
+    std::size_t i = kBase;
+    while (true) {
+      const std::size_t c = 8 * i - 48;
+      if (c > live_end) break;
+      // The payload group's line is needed only if the move happens;
+      // fetch it while argmin8 chews on the key line.
+      simd::prefetch(p + c);
+      const std::size_t j = c + simd::argmin8(k + c);
+      if (k[j] >= key) break;  // padding is ~0, never taken
+      k[i] = k[j];
+      p[i] = p[j];
+      i = j;
+    }
+    k[i] = key;
+    p[i] = pay;
+  }
+
+  // -- Deadline staging ------------------------------------------------
+
+  void stage_push(std::int64_t ds, std::uint64_t key, std::uint64_t pay) {
+    const auto s = static_cast<std::size_t>(ds);
+    if (s >= stage_head_.size()) {
+      const std::size_t old = stage_head_.size();
+      const std::size_t grown = std::max(s + 1, old * 2);
+      stage_head_.resize(grown);
+      for (std::size_t i = old; i < grown; ++i) stage_head_[i] = -1;
+    }
+    std::int32_t c = stage_head_[s];
+    if (c < 0 ||
+        stage_chunks_[static_cast<std::size_t>(c)].count == StageChunk::kCap) {
+      std::int32_t fresh;
+      if (stage_free_ >= 0) {
+        fresh = stage_free_;
+        stage_free_ = stage_chunks_[static_cast<std::size_t>(fresh)].next;
+      } else {
+        fresh = static_cast<std::int32_t>(stage_chunks_.size());
+        stage_chunks_.push_back(StageChunk{});
+      }
+      StageChunk& ch = stage_chunks_[static_cast<std::size_t>(fresh)];
+      ch.count = 0;
+      ch.next = c;
+      stage_head_[s] = fresh;
+      c = fresh;
+    }
+    StageChunk& ch = stage_chunks_[static_cast<std::size_t>(c)];
+    ch.key[ch.count] = key;
+    ch.pay[ch.count] = pay;
+    ++ch.count;
+    ++staged_;
+    if (ds < stage_min_) stage_min_ = ds;
+  }
+
+  /// Drains staged buckets while the earliest staged deadline slot is
+  /// at or before the heap top's (or the heap is empty).  A bucket with
+  /// a strictly later deadline slot cannot contain the next pop — the
+  /// deadline is the key's most significant field — so leaving it
+  /// staged never changes pop order.
+  void maybe_drain() {
+    while (staged_ != 0 &&
+           (n_ == 0 || static_cast<std::int64_t>(
+                           keys_.data()[kBase] >> shift_) >= stage_min_)) {
+      drain_min_bucket();
+    }
+  }
+
+  void drain_min_bucket() {
+    const auto s = static_cast<std::size_t>(stage_min_);
+    std::int32_t c = stage_head_[s];
+    stage_head_[s] = -1;
+    while (c >= 0) {
+      StageChunk& ch = stage_chunks_[static_cast<std::size_t>(c)];
+      for (std::int32_t i = 0; i < ch.count; ++i) {
+        heap_push(ch.key[i], ch.pay[i]);
+      }
+      staged_ -= static_cast<std::size_t>(ch.count);
+      const std::int32_t next = ch.next;
+      ch.next = stage_free_;
+      stage_free_ = c;
+      c = next;
+    }
+    frontier_ = stage_min_ + 1;
+    // Later pushes at already-drained slots go straight to the heap, so
+    // the scan for the next nonempty bucket never revisits this range.
+    if (staged_ == 0) {
+      stage_min_ = kNoStage;
+    } else {
+      std::int64_t d = frontier_;
+      while (stage_head_[static_cast<std::size_t>(d)] < 0) ++d;
+      stage_min_ = d;
+    }
+  }
+
   struct Lower {
     const ReadyQueue* q;
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (q->packed_) return a.key > b.key;
-      return q->order_->higher(b.ref, a.ref);
+    bool operator()(const SubtaskRef& a, const SubtaskRef& b) const {
+      return q->order_->higher(b, a);
     }
   };
 
-  std::vector<Entry> heap_;
+  // Packed mode: parallel 8-ary heap arrays (64-byte aligned so each
+  // child group is one cache line); payload = task << 32 | seq.
+  ArenaVector<std::uint64_t, 64> keys_;
+  ArenaVector<std::uint64_t, 64> payload_;
+  std::size_t n_ = 0;  // live heap entries
+  // Deadline staging: [deadline slot] -> chunk list, plus a freelist.
+  ArenaVector<std::int32_t> stage_head_;
+  ArenaVector<StageChunk> stage_chunks_;
+  std::int32_t stage_free_ = -1;
+  std::size_t staged_ = 0;          // entries across all buckets
+  std::int64_t frontier_ = 0;       // buckets below this are drained
+  std::int64_t stage_min_ = kNoStage;  // earliest nonempty bucket
+  int shift_ = 0;                   // PackedKeys::deadline_shift()
+  // Fallback mode (PF / fit overflow): comparator binary heap.
+  std::vector<SubtaskRef> fb_;
   const PriorityOrder* order_;
-  const PackedKeys* keys_;
+  const PackedKeys* pkeys_;
   bool packed_;
 };
 

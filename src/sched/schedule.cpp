@@ -73,6 +73,12 @@ void SlotSchedule::place(const SubtaskRef& ref, std::int64_t slot, int proc) {
   horizon_ = std::max(horizon_, slot + 1);
 }
 
+void SlotSchedule::clear_placements() {
+  std::fill_n(cells_.get(), static_cast<std::size_t>(total()), Cell{});
+  horizon_ = 0;
+  placed_ = 0;
+}
+
 std::int64_t SlotSchedule::completion_slot(const SubtaskRef& ref) const {
   const SlotPlacement p = placement(ref);
   PFAIR_REQUIRE(p.scheduled(), "subtask " << ref << " not scheduled");

@@ -67,7 +67,23 @@ class SlotSchedule {
            offsets_[static_cast<std::size_t>(task)];
   }
 
+  /// Number of placements recorded so far.
+  [[nodiscard]] std::int64_t placed_count() const { return placed_; }
+
+  /// Reverts every placement (an O(total) memset over the cell block)
+  /// so the schedule can be refilled in place — the reuse hook behind
+  /// `schedule_sfq_into`, which keeps sweeps and throughput loops free
+  /// of steady-state allocations.
+  void clear_placements();
+
  private:
+  // The uninstrumented hot path writes cells through a raw pointer —
+  // the simulator's head cursor already guarantees place()'s
+  // preconditions (valid ref, never placed twice), so the checked
+  // accessor would only re-verify per placement what is invariant.
+  friend class SfqSimulator;
+
+
   /// One subtask's placement, shifted so all-zero bytes == unscheduled.
   struct Cell {
     std::int64_t slot_p1 = 0;

@@ -35,13 +35,29 @@ SlotSchedule schedule_sfq(const TaskSystem& sys, const SfqOptions& opts) {
   std::optional<SfqSimulator> sim;
   {
     PFAIR_PROF_SPAN(kConstruction);
-    sim.emplace(sys, opts.policy);
+    sim.emplace(sys, opts.policy, opts.arena);
   }
   if (opts.trace != nullptr) sim->set_trace_sink(opts.trace);
   if (opts.metrics != nullptr) sim->attach_metrics(*opts.metrics);
   if (opts.quality != nullptr) sim->set_quality(opts.quality);
   sim->run_until(limit);
   return std::move(*sim).take_schedule();
+}
+
+void schedule_sfq_into(const TaskSystem& sys, const SfqOptions& opts,
+                       SlotSchedule& out) {
+  out.clear_placements();
+  const std::int64_t limit =
+      opts.horizon_limit > 0 ? opts.horizon_limit : default_horizon(sys);
+  std::optional<SfqSimulator> sim;
+  {
+    PFAIR_PROF_SPAN(kConstruction);
+    sim.emplace(sys, opts.policy, opts.arena, &out);
+  }
+  if (opts.trace != nullptr) sim->set_trace_sink(opts.trace);
+  if (opts.metrics != nullptr) sim->attach_metrics(*opts.metrics);
+  if (opts.quality != nullptr) sim->set_quality(opts.quality);
+  sim->run_until(limit);
 }
 
 }  // namespace pfair

@@ -15,6 +15,7 @@
 
 namespace pfair {
 
+class Arena;             // core/arena.hpp
 class TraceSink;         // obs/trace.hpp
 class MetricsRegistry;   // obs/metrics.hpp
 struct QualityCounters;  // obs/quality.hpp
@@ -38,6 +39,14 @@ struct SfqOptions {
   /// attaching disables cycle fast-forward (skipped slots would be
   /// uncounted).
   QualityCounters* quality = nullptr;
+  /// Optional bump arena (not owned; core/arena.hpp) backing all of the
+  /// scheduler's working state — key tables, ready heap, calendar
+  /// chunks, hot task records.  Must be fresh or reset when the run
+  /// starts; the scheduler never resets it, so the caller resets it
+  /// between runs.  Together with `schedule_sfq_into`, this makes
+  /// repeated runs free of steady-state heap allocations
+  /// (tests/steady_alloc_test.cpp pins this).
+  Arena* arena = nullptr;
   /// Steady-state cycle detection (sched/compressed_schedule.hpp): skip
   /// proven-recurring hyperperiods instead of simulating them.  Placements
   /// are bit-identical either way; the knob exists so A/B tests can force
@@ -51,6 +60,18 @@ struct SfqOptions {
 /// optimal policy; `SlotSchedule::complete()` reports truncation otherwise.
 [[nodiscard]] SlotSchedule schedule_sfq(const TaskSystem& sys,
                                         const SfqOptions& opts = {});
+
+/// Runs the SFQ scheduler writing placements into `out`, which must be
+/// shaped like `sys` (existing placements are cleared first).  This is
+/// the allocation-free reuse entry point: with `opts.arena` set and
+/// reset between calls, repeated calls touch only memory that is
+/// already owned — no heap traffic in steady state (the sustained-
+/// throughput bench and sweeps run on this).  Placements are
+/// bit-identical to `schedule_sfq`.  Cycle fast-forward does not apply
+/// here (it would synthesize placements outside `out`'s storage), so
+/// every slot is simulated.
+void schedule_sfq_into(const TaskSystem& sys, const SfqOptions& opts,
+                       SlotSchedule& out);
 
 /// The automatic horizon used when `horizon_limit == 0`.
 [[nodiscard]] std::int64_t default_horizon(const TaskSystem& sys);

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "core/arena.hpp"
+#include "core/simd.hpp"
 #include "core/thread_pool.hpp"
 #include "dvq/dvq_scheduler.hpp"
 #include "dvq/reference_scheduler.hpp"
@@ -386,6 +388,56 @@ TEST(AbEquivalence, ProfiledAndQualityRunsAreBitIdentical) {
           }
       });
   EXPECT_EQ(failures.count.load(), 0) << failures.first;
+}
+
+// The SIMD shim is an implementation detail: with the runtime
+// force-scalar hook engaged, every policy must produce bit-identical
+// schedules in both models, with and without an arena attached.  Runs
+// serially — the hook is process-wide.
+TEST(AbEquivalence, SimdAndScalarBackendsAreBitIdentical) {
+  struct ScalarGuard {  // restore the hook even if an assertion fires
+    ~ScalarGuard() { simd::set_force_scalar(false); }
+  } guard;
+  for (int seed = 0; seed < 12; ++seed) {
+    const TaskSystem sys = make_system(seed);
+    const BernoulliYield yields(static_cast<std::uint64_t>(seed) * 131 + 7, 1,
+                                3, kTick, kQuantum - kTick);
+    for (const Policy policy : kAllPolicies) {
+      const std::string tag =
+          "seed " + std::to_string(seed) + " " + to_string(policy);
+
+      SfqOptions sopts;
+      sopts.policy = policy;
+      DvqOptions dopts;
+      dopts.policy = policy;
+      Arena arena;
+      SfqOptions aopts = sopts;
+      aopts.arena = &arena;
+
+      const SlotSchedule simd_sfq = schedule_sfq(sys, sopts);
+      SlotSchedule simd_arena(sys);
+      schedule_sfq_into(sys, aopts, simd_arena);
+      const DvqSchedule simd_dvq = schedule_dvq(sys, yields, dopts);
+
+      simd::set_force_scalar(true);
+      const SlotSchedule scalar_sfq = schedule_sfq(sys, sopts);
+      arena.reset();
+      SlotSchedule scalar_arena(sys);
+      schedule_sfq_into(sys, aopts, scalar_arena);
+      const DvqSchedule scalar_dvq = schedule_dvq(sys, yields, dopts);
+      simd::set_force_scalar(false);
+
+      std::string why;
+      ASSERT_TRUE(same_sfq(simd_sfq, scalar_sfq, sys, &why))
+          << tag << " sfq: " << why;
+      ASSERT_TRUE(same_sfq(simd_sfq, simd_arena, sys, &why))
+          << tag << " sfq arena (simd): " << why;
+      ASSERT_TRUE(same_sfq(simd_sfq, scalar_arena, sys, &why))
+          << tag << " sfq arena (scalar): " << why;
+      ASSERT_TRUE(same_dvq(simd_dvq, scalar_dvq, sys, &why))
+          << tag << " dvq: " << why;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+// SIMD-vs-scalar property suite: the dispatching kernels in
+// core/simd.hpp must agree bit-for-bit with the scalar reference
+// implementations on every size class, in particular at the lane-count
+// boundaries (1, 7, 8, 9, 15, 16, 17 for 4-wide AVX2 / 2-wide NEON
+// kernels), on extreme values that straddle the signed/unsigned
+// boundary (the AVX2 backend synthesizes unsigned compares from signed
+// ones), and under the runtime force-scalar hook.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simd.hpp"
+
+namespace pfair {
+namespace {
+
+// The boundary sizes called out in the shim's contract: around one
+// 8-ary heap child group and around both SIMD widths.
+constexpr std::size_t kBoundarySizes[] = {1, 7, 8, 9, 15, 16, 17};
+
+// Restores the force-scalar hook even when an assertion fires.
+struct ScalarGuard {
+  explicit ScalarGuard(bool v) { simd::set_force_scalar(v); }
+  ~ScalarGuard() { simd::set_force_scalar(false); }
+};
+
+std::vector<std::uint64_t> random_keys(Rng& rng, std::size_t n,
+                                       bool distinct) {
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix magnitudes: small, mid, and values with the top bit set.
+    const std::uint64_t hi =
+        static_cast<std::uint64_t>(rng.uniform(0, 3)) << 62;
+    keys[i] = hi | static_cast<std::uint64_t>(rng.uniform(0, 1 << 30));
+    if (distinct) keys[i] = (keys[i] & ~std::uint64_t{0xffff}) | i;
+  }
+  return keys;
+}
+
+TEST(Simd, AffineKeysMatchesScalarAtBoundarySizes) {
+  Rng rng(42);
+  for (const std::size_t n : kBoundarySizes) {
+    for (int rep = 0; rep < 32; ++rep) {
+      std::vector<std::uint64_t> base(n), step(n), job(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        base[i] = static_cast<std::uint64_t>(rng.uniform(0, 1 << 30)) << 20;
+        step[i] = static_cast<std::uint64_t>(rng.uniform(0, 1 << 30)) << 10;
+        // The contract requires job < 2^32; cover the top of that range.
+        job[i] = rep == 0 ? 0xffffffffULL
+                          : static_cast<std::uint64_t>(
+                                rng.uniform(0, std::int64_t{0xffffffff}));
+      }
+      std::vector<std::uint64_t> want(n), got(n);
+      simd::affine_keys_scalar(base.data(), step.data(), job.data(),
+                               want.data(), n);
+      simd::affine_keys(base.data(), step.data(), job.data(), got.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Simd, AffineKeysWrapsModulo64Bits) {
+  // base + job * step overflowing 2^64 must wrap identically in every
+  // backend (the packed-key construction never overflows, but the shim
+  // promises mod-2^64 semantics regardless).
+  const std::uint64_t base[] = {~0ULL, 1ULL << 63, 0, ~0ULL};
+  const std::uint64_t step[] = {~0ULL >> 32, 1ULL << 32, ~0ULL >> 32, 1};
+  const std::uint64_t job[] = {0xffffffffULL, 2, 0xfffffffeULL, 1};
+  std::uint64_t want[4], got[4];
+  simd::affine_keys_scalar(base, step, job, want, 4);
+  simd::affine_keys(base, step, job, got, 4);
+  for (int i = 0; i < 4; ++i) ASSERT_EQ(got[i], want[i]) << i;
+}
+
+TEST(Simd, Argmin8MatchesScalarForEveryMinPosition) {
+  Rng rng(7);
+  for (int rep = 0; rep < 64; ++rep) {
+    std::vector<std::uint64_t> keys = random_keys(rng, 8, /*distinct=*/true);
+    for (std::size_t pos = 0; pos < 8; ++pos) {
+      std::vector<std::uint64_t> k = keys;
+      k[pos] = 0;  // unique minimum at pos (distinct keys have low bits = i)
+      ASSERT_EQ(simd::argmin8(k.data()), pos);
+      ASSERT_EQ(simd::argmin8(k.data()), simd::argmin8_scalar(k.data()));
+    }
+  }
+}
+
+TEST(Simd, Argmin8HandlesSentinelPadding) {
+  // The ready heap pads short child groups with ~0 sentinels; the
+  // kernel must still pick the live minimum.
+  for (std::size_t live = 1; live <= 8; ++live) {
+    std::vector<std::uint64_t> keys(8, ~0ULL);
+    for (std::size_t i = 0; i < live; ++i) {
+      keys[i] = (1ULL << 62) + i * 17;
+    }
+    ASSERT_EQ(simd::argmin8(keys.data()), 0u) << "live=" << live;
+    keys[live - 1] = 3;
+    ASSERT_EQ(simd::argmin8(keys.data()), live - 1);
+  }
+}
+
+TEST(Simd, ArgminMatchesScalarAtBoundarySizes) {
+  Rng rng(1234);
+  for (const std::size_t n : kBoundarySizes) {
+    for (int rep = 0; rep < 32; ++rep) {
+      std::vector<std::uint64_t> keys =
+          random_keys(rng, n, /*distinct=*/true);
+      ASSERT_EQ(simd::argmin(keys.data(), n),
+                simd::argmin_scalar(keys.data(), n))
+          << "n=" << n;
+      // Force the minimum into each slot in turn.
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        std::vector<std::uint64_t> k = keys;
+        k[pos] = pos;  // strictly below every random key, distinct per pos
+        ASSERT_EQ(simd::argmin(k.data(), n), pos) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Simd, ArgminExtremeValuesStraddleSignBit) {
+  // 2^63 - 1 vs 2^63: a signed compare would order these backwards.
+  const std::uint64_t keys[] = {1ULL << 63,       (1ULL << 63) - 1,
+                                ~0ULL,            (1ULL << 63) + 1,
+                                (1ULL << 62),     ~0ULL - 1,
+                                (1ULL << 63) - 2, 1ULL};
+  ASSERT_EQ(simd::argmin8(keys), 7u);
+  ASSERT_EQ(simd::argmin(keys, 8), 7u);
+  const std::uint64_t high_only[] = {1ULL << 63,       (1ULL << 63) + 5,
+                                     (1ULL << 63) + 1, ~0ULL,
+                                     (1ULL << 63) + 2, (1ULL << 63) + 9,
+                                     (1ULL << 63) + 3, (1ULL << 63) + 4};
+  ASSERT_EQ(simd::argmin8(high_only), 0u);
+  ASSERT_EQ(simd::argmin(high_only, 8), 0u);
+}
+
+TEST(Simd, ForceScalarHookRoutesToScalarBackend) {
+  const ScalarGuard guard(true);
+  EXPECT_FALSE(simd::accelerated());
+  Rng rng(99);
+  const std::vector<std::uint64_t> keys =
+      random_keys(rng, 17, /*distinct=*/true);
+  EXPECT_EQ(simd::argmin(keys.data(), 17),
+            simd::argmin_scalar(keys.data(), 17));
+  EXPECT_EQ(simd::argmin8(keys.data()), simd::argmin8_scalar(keys.data()));
+}
+
+TEST(Simd, IsaNameMatchesCompiledBackend) {
+#if defined(PFAIR_SIMD_AVX2)
+  EXPECT_STREQ(simd::isa_name(), "avx2");
+  EXPECT_TRUE(simd::accelerated());
+#elif defined(PFAIR_SIMD_NEON)
+  EXPECT_STREQ(simd::isa_name(), "neon");
+  EXPECT_TRUE(simd::accelerated());
+#else
+  EXPECT_STREQ(simd::isa_name(), "scalar");
+  EXPECT_FALSE(simd::accelerated());
+#endif
+}
+
+}  // namespace
+}  // namespace pfair

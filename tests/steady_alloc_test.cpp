@@ -1,0 +1,138 @@
+// Steady-state allocation contract: once an arena-backed simulator has
+// warmed up (the arena reached its high-water mark), further
+// `schedule_sfq_into` calls perform ZERO heap allocations.  This test
+// replaces global operator new/delete with counting versions and pins
+// the count across repeated calls — a stronger check than watching
+// arena capacity, because it also catches stray std::vector or string
+// traffic anywhere in the per-call pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "sched/schedule.hpp"
+#include "sched/sfq_scheduler.hpp"
+#include "tasks/task.hpp"
+#include "tasks/task_system.hpp"
+#include "tasks/weight.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, n) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+// Replacements are per-binary: this file gets its own test executable.
+void* operator new(std::size_t n) { return counted_alloc(n, sizeof(void*)); }
+void* operator new[](std::size_t n) { return counted_alloc(n, sizeof(void*)); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pfair {
+namespace {
+
+TaskSystem make_system(std::int64_t n) {
+  constexpr std::int64_t kDens[] = {3, 5, 7, 8, 16};
+  constexpr std::int64_t kHorizon = 48;
+  std::vector<Task> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    tasks.push_back(Task::periodic_phased("t" + std::to_string(i),
+                                          Weight(1, kDens[i % 5]), i % 3,
+                                          kHorizon, nullptr));
+  }
+  Rational util(0);
+  for (const Task& t : tasks) util += t.weight().value();
+  return TaskSystem(std::move(tasks), static_cast<int>(util.ceil()));
+}
+
+TEST(SteadyAlloc, RepeatedScheduleSfqIntoAllocatesNothing) {
+  const TaskSystem sys = make_system(64);
+  Arena arena;
+  SfqOptions opts;
+  opts.arena = &arena;
+  SlotSchedule out(sys);
+
+  // Warmup: let the arena grow to its high-water mark and every lazily
+  // sized structure reach its steady shape.
+  for (int r = 0; r < 3; ++r) {
+    arena.reset();
+    schedule_sfq_into(sys, opts, out);
+  }
+  const std::size_t cap = arena.capacity_bytes();
+
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int r = 0; r < 10; ++r) {
+    arena.reset();
+    schedule_sfq_into(sys, opts, out);
+  }
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state schedule_sfq_into performed heap allocations";
+  EXPECT_EQ(arena.capacity_bytes(), cap) << "arena kept growing after warmup";
+}
+
+TEST(SteadyAlloc, EveryPackablePolicyIsSteadyState) {
+  const TaskSystem sys = make_system(48);
+  for (const Policy policy : {Policy::kEpdf, Policy::kPd, Policy::kPd2}) {
+    Arena arena;
+    SfqOptions opts;
+    opts.policy = policy;
+    opts.arena = &arena;
+    SlotSchedule out(sys);
+    for (int r = 0; r < 3; ++r) {
+      arena.reset();
+      schedule_sfq_into(sys, opts, out);
+    }
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    for (int r = 0; r < 5; ++r) {
+      arena.reset();
+      schedule_sfq_into(sys, opts, out);
+    }
+    const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << to_string(policy);
+  }
+}
+
+// The counting hooks themselves must be live, or the zero above would
+// be vacuous.
+TEST(SteadyAlloc, CountingHooksObserveOrdinaryAllocations) {
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  auto* p = new std::uint64_t(7);
+  delete p;
+  std::vector<std::uint64_t> v(1000);
+  v[999] = 1;
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_GE(after - before, 2u);
+}
+
+}  // namespace
+}  // namespace pfair
